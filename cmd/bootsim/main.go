@@ -1,0 +1,317 @@
+// Command bootsim reproduces the paper's evaluation (Section 5) from the
+// command line. Each experiment prints CSV series equivalent to the
+// paper's figures:
+//
+//	bootsim -experiment fig3                 # Figure 3: no failures
+//	bootsim -experiment fig4                 # Figure 4: 20% message drop
+//	bootsim -experiment churn                # Section 5 churn robustness
+//	bootsim -experiment scaling              # cycles-to-converge vs N
+//	bootsim -experiment ablation             # prefix-feedback and cr ablations
+//	bootsim -experiment chord                # Chord ring+finger baseline
+//
+// The default sizes are laptop-quick; pass -paper for the paper's
+// 2^14, 2^16 and 2^18 (the largest takes a while and several GB of RAM).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/chord"
+	"repro/internal/core"
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bootsim:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	experiment string
+	sizes      []int
+	cycles     int
+	drop       float64
+	seed       int64
+	sampler    experiment.SamplerKind
+	warmup     int
+	runs       int
+	cfg        core.Config
+}
+
+func parseArgs(args []string) (*options, error) {
+	fs := flag.NewFlagSet("bootsim", flag.ContinueOnError)
+	var (
+		expName = fs.String("experiment", "fig3", "fig3|fig4|churn|scaling|ablation|chord")
+		nList   = fs.String("n", "1024,4096,16384", "comma-separated network sizes")
+		paper   = fs.Bool("paper", false, "use the paper's sizes 2^14,2^16,2^18 (slow, memory-hungry)")
+		cycles  = fs.Int("cycles", 0, "max cycles (0 = per-experiment default)")
+		drop    = fs.Float64("drop", -1, "message drop probability (-1 = per-experiment default)")
+		seed    = fs.Int64("seed", 42, "random seed")
+		sampler = fs.String("sampler", "oracle", "oracle|newscast")
+		warmup  = fs.Int("warmup", 10, "newscast warmup cycles before bootstrap starts")
+		runs    = fs.Int("runs", 1, "independent repetitions per size")
+		b       = fs.Int("b", core.DefaultB, "bits per digit")
+		k       = fs.Int("k", core.DefaultK, "entries per prefix-table slot")
+		c       = fs.Int("c", core.DefaultC, "leaf set size")
+		cr      = fs.Int("cr", core.DefaultCR, "random samples per message")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	o := &options{
+		experiment: *expName,
+		cycles:     *cycles,
+		drop:       *drop,
+		seed:       *seed,
+		warmup:     *warmup,
+		runs:       *runs,
+		cfg: core.Config{
+			B: *b, K: *k, C: *c, CR: *cr, Delta: core.DefaultDelta,
+		},
+	}
+	var err error
+	if o.sampler, err = experiment.ParseSampler(*sampler); err != nil {
+		return nil, err
+	}
+	if *paper {
+		o.sizes = []int{1 << 14, 1 << 16, 1 << 18}
+	} else {
+		for _, s := range strings.Split(*nList, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return nil, fmt.Errorf("bad -n element %q: %w", s, err)
+			}
+			o.sizes = append(o.sizes, v)
+		}
+	}
+	if o.runs < 1 {
+		return nil, fmt.Errorf("-runs must be at least 1, got %d", o.runs)
+	}
+	return o, nil
+}
+
+func run(args []string, out io.Writer) error {
+	o, err := parseArgs(args)
+	if err != nil {
+		return err
+	}
+	switch o.experiment {
+	case "fig3":
+		return runConvergence(o, out, 0, "fig3 (no failures)")
+	case "fig4":
+		drop := 0.2
+		if o.drop >= 0 {
+			drop = o.drop
+		}
+		return runConvergence(o, out, drop, "fig4 (message drop)")
+	case "churn":
+		return runChurn(o, out)
+	case "massjoin":
+		return runMassJoin(o, out)
+	case "scaling":
+		return runScaling(o, out)
+	case "ablation":
+		return runAblation(o, out)
+	case "chord":
+		return runChordBaseline(o, out)
+	default:
+		return fmt.Errorf("unknown experiment %q", o.experiment)
+	}
+}
+
+func (o *options) maxCycles(def int) int {
+	if o.cycles > 0 {
+		return o.cycles
+	}
+	return def
+}
+
+// runConvergence reproduces Figures 3 and 4: per-cycle missing-entry
+// proportions per network size.
+func runConvergence(o *options, out io.Writer, drop float64, label string) error {
+	fmt.Fprintf(out, "# experiment=%s sampler=%s drop=%.2f b=%d k=%d c=%d cr=%d\n",
+		label, o.sampler, drop, o.cfg.B, o.cfg.K, o.cfg.C, o.cfg.CR)
+	def := 40
+	if drop > 0 {
+		def = 60
+	}
+	for _, n := range o.sizes {
+		for rep := 0; rep < o.runs; rep++ {
+			res, err := experiment.Run(experiment.Params{
+				N:            n,
+				Seed:         o.seed + int64(rep)*7919,
+				Config:       o.cfg,
+				Drop:         drop,
+				MaxCycles:    o.maxCycles(def),
+				Sampler:      o.sampler,
+				WarmupCycles: o.warmup,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "# n=%d run=%d converged_at=%d sent=%d dropped=%d\n",
+				n, rep, res.ConvergedAt, res.Stats.Sent, res.Stats.Dropped)
+			if err := res.WriteCSV(out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runChurn reproduces the Section 5 churn claim: per-cycle quality while a
+// fraction of the network is replaced every cycle, then after churn stops.
+func runChurn(o *options, out io.Writer) error {
+	fmt.Fprintf(out, "# experiment=churn sampler=%s rate=0.01 cycles 0-20, then churn-free\n", o.sampler)
+	for _, n := range o.sizes {
+		res, err := experiment.Run(experiment.Params{
+			N:                       n,
+			Seed:                    o.seed,
+			Config:                  o.cfg,
+			Drop:                    maxF(o.drop, 0),
+			MaxCycles:               o.maxCycles(50),
+			Sampler:                 o.sampler,
+			WarmupCycles:            o.warmup,
+			Churn:                   experiment.Churn{Rate: 0.01, StartCycle: 0, StopCycle: 20},
+			KeepRunningAfterPerfect: true,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "# n=%d final_leaf_missing=%e final_prefix_missing=%e\n",
+			n, res.Final().LeafMissing, res.Final().PrefixMissing)
+		if err := res.WriteCSV(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runMassJoin doubles the network at cycle 10 — the paper's motivating
+// "massive joins" scenario — and reports the recovery series.
+func runMassJoin(o *options, out io.Writer) error {
+	fmt.Fprintf(out, "# experiment=massjoin sampler=%s double at cycle 10\n", o.sampler)
+	for _, n := range o.sizes {
+		res, err := experiment.Run(experiment.Params{
+			N:            n,
+			Seed:         o.seed,
+			Config:       o.cfg,
+			Drop:         maxF(o.drop, 0),
+			MaxCycles:    o.maxCycles(60),
+			Sampler:      o.sampler,
+			WarmupCycles: o.warmup,
+			Join:         experiment.Join{Cycle: 10, Count: n},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "# n=%d joined=%d reconverged_at=%d\n", n, n, res.ConvergedAt)
+		if err := res.WriteCSV(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runScaling reproduces the logarithmic-convergence claim: cycles to
+// perfection as a function of N.
+func runScaling(o *options, out io.Writer) error {
+	fmt.Fprintf(out, "# experiment=scaling sampler=%s\n", o.sampler)
+	fmt.Fprintln(out, "n,run,converged_at_cycle,sent_messages")
+	for _, n := range o.sizes {
+		for rep := 0; rep < o.runs; rep++ {
+			res, err := experiment.Run(experiment.Params{
+				N:            n,
+				Seed:         o.seed + int64(rep)*104729,
+				Config:       o.cfg,
+				Drop:         maxF(o.drop, 0),
+				MaxCycles:    o.maxCycles(60),
+				Sampler:      o.sampler,
+				WarmupCycles: o.warmup,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%d,%d,%d,%d\n", n, rep, res.ConvergedAt, res.Stats.Sent)
+		}
+	}
+	return nil
+}
+
+// runAblation compares the full protocol against the no-prefix-feedback
+// variant and several cr values.
+func runAblation(o *options, out io.Writer) error {
+	fmt.Fprintf(out, "# experiment=ablation sampler=%s\n", o.sampler)
+	fmt.Fprintln(out, "n,variant,converged_at_cycle,final_leaf_missing,final_prefix_missing,sent_messages")
+	type variant struct {
+		name string
+		mut  func(*core.Config)
+	}
+	variants := []variant{
+		{"full", func(*core.Config) {}},
+		{"no_prefix_feedback", func(c *core.Config) { c.DisablePrefixFeedback = true }},
+		{"cr=0", func(c *core.Config) { c.CR = 0 }},
+		{"cr=10", func(c *core.Config) { c.CR = 10 }},
+		{"cr=100", func(c *core.Config) { c.CR = 100 }},
+	}
+	for _, n := range o.sizes {
+		for _, v := range variants {
+			cfg := o.cfg
+			v.mut(&cfg)
+			res, err := experiment.Run(experiment.Params{
+				N:            n,
+				Seed:         o.seed,
+				Config:       cfg,
+				Drop:         maxF(o.drop, 0),
+				MaxCycles:    o.maxCycles(60),
+				Sampler:      o.sampler,
+				WarmupCycles: o.warmup,
+			})
+			if err != nil {
+				return err
+			}
+			f := res.Final()
+			fmt.Fprintf(out, "%d,%s,%d,%e,%e,%d\n",
+				n, v.name, res.ConvergedAt, f.LeafMissing, f.PrefixMissing, res.Stats.Sent)
+		}
+	}
+	return nil
+}
+
+// runChordBaseline runs the Chord ring+finger bootstrap for comparison.
+func runChordBaseline(o *options, out io.Writer) error {
+	fmt.Fprintln(out, "# experiment=chord baseline (ring + fingers)")
+	fmt.Fprintln(out, "n,cycle,finger_wrong,leaf_missing,sent")
+	ccfg := chord.Config{C: o.cfg.C, CR: o.cfg.CR, Delta: o.cfg.Delta}
+	for _, n := range o.sizes {
+		res, err := experiment.RunChord(experiment.ChordParams{
+			N:         n,
+			Seed:      o.seed,
+			Config:    ccfg,
+			Drop:      maxF(o.drop, 0),
+			MaxCycles: o.maxCycles(60),
+		})
+		if err != nil {
+			return err
+		}
+		for _, pt := range res.Points {
+			fmt.Fprintf(out, "%d,%d,%e,%e,%d\n", n, pt.Cycle, pt.FingerWrong, pt.LeafMissing, pt.Sent)
+		}
+		fmt.Fprintf(out, "# n=%d converged_at=%d\n", n, res.ConvergedAt)
+	}
+	return nil
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

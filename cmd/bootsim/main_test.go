@@ -1,0 +1,144 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseArgs(t *testing.T) {
+	o, err := parseArgs([]string{"-experiment", "fig4", "-n", "64, 128", "-seed", "7", "-runs", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.experiment != "fig4" || len(o.sizes) != 2 || o.sizes[0] != 64 || o.sizes[1] != 128 {
+		t.Errorf("parsed %+v", o)
+	}
+	if o.seed != 7 || o.runs != 2 {
+		t.Errorf("parsed %+v", o)
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	cases := [][]string{
+		{"-n", "abc"},
+		{"-sampler", "bogus"},
+		{"-runs", "0"},
+	}
+	for _, args := range cases {
+		if _, err := parseArgs(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "nope", "-n", "64"}, &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunFig3Small(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "fig3", "-n", "128"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "cycle,leaf_missing") {
+		t.Error("missing CSV header")
+	}
+	if !strings.Contains(out, "converged_at=") {
+		t.Error("missing convergence summary")
+	}
+}
+
+func TestRunFig4Small(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "fig4", "-n", "128"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "drop=0.20") {
+		t.Error("fig4 should default to 20% drop")
+	}
+}
+
+func TestRunScalingSmall(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "scaling", "-n", "64,128", "-runs", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	// header comment + csv header + 4 rows
+	if len(lines) != 6 {
+		t.Errorf("scaling output has %d lines, want 6:\n%s", len(lines), sb.String())
+	}
+}
+
+func TestRunChurnSmall(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "churn", "-n", "64", "-cycles", "30"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "final_leaf_missing=") {
+		t.Error("missing churn summary")
+	}
+}
+
+func TestRunAblationSmall(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "ablation", "-n", "64", "-cycles", "30"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, v := range []string{"full", "no_prefix_feedback", "cr=0", "cr=10", "cr=100"} {
+		if !strings.Contains(out, v) {
+			t.Errorf("ablation output missing variant %s", v)
+		}
+	}
+}
+
+func TestRunChordSmall(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "chord", "-n", "64", "-cycles", "30"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "finger_wrong") {
+		t.Error("missing chord CSV header")
+	}
+}
+
+func TestRunNewscastSampler(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "fig3", "-n", "64", "-sampler", "newscast", "-warmup", "5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "sampler=newscast") {
+		t.Error("sampler not recorded in output")
+	}
+}
+
+func TestRunMassJoinSmall(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "massjoin", "-n", "64", "-cycles", "40"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "reconverged_at=") {
+		t.Error("missing massjoin summary")
+	}
+}
+
+func TestParsePaperSizes(t *testing.T) {
+	o, err := parseArgs([]string{"-paper"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1 << 14, 1 << 16, 1 << 18}
+	if len(o.sizes) != 3 {
+		t.Fatalf("sizes = %v", o.sizes)
+	}
+	for i, w := range want {
+		if o.sizes[i] != w {
+			t.Fatalf("sizes = %v, want %v", o.sizes, want)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseArgsErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "1"},
+		{"-fail", "1.5"},
+	} {
+		if _, err := parseArgs(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "nope"}, &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestSelfHealSmall(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "selfheal", "-n", "300", "-cycles", "30"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "dead_view_fraction") {
+		t.Error("missing CSV header")
+	}
+	// The last line's dead fraction must be (near) zero.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "e-") && !strings.Contains(last, "0.000000e+00") {
+		t.Errorf("dead fraction did not decay: %q", last)
+	}
+}
+
+func TestStartSpreadSmall(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "startspread", "-n", "400", "-cycles", "30"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "covered=400/400") {
+		t.Errorf("incomplete coverage:\n%s", out)
+	}
+	if !strings.Contains(out, "p100,") {
+		t.Error("missing percentile rows")
+	}
+}
+
+func TestSizeEstSmall(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "sizeest", "-n", "200", "-cycles", "40"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "probe_estimate") {
+		t.Error("missing CSV header")
+	}
+}

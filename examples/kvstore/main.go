@@ -1,0 +1,116 @@
+// Kvstore: an application on top of the jump-started overlay. A pool of
+// nodes bootstraps its routing substrate from scratch, then immediately
+// serves a replicated key-value store (PAST-style: keys live at their
+// ring-closest node plus neighbours). Nodes then crash, and the store
+// stays available because responsibility migrates to replicas.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/id"
+	"repro/internal/overlay/pastry"
+	"repro/internal/peer"
+	"repro/internal/sampling"
+	"repro/internal/simnet"
+)
+
+const (
+	numNodes = 500
+	numKeys  = 1000
+	replicas = 3
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kvstore:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Jump-start the overlay.
+	net := simnet.New(simnet.Config{Seed: 41})
+	ids := id.Unique(numNodes, 42)
+	descs := make([]peer.Descriptor, numNodes)
+	for i := range descs {
+		descs[i] = peer.Descriptor{ID: ids[i], Addr: net.AddNode()}
+	}
+	oracle := sampling.NewOracle(descs, 43)
+	cfg := core.DefaultConfig()
+	boot := make([]*core.Node, numNodes)
+	for i, d := range descs {
+		nd, err := core.NewNode(d, cfg, oracle)
+		if err != nil {
+			return err
+		}
+		boot[i] = nd
+		if err := net.Attach(d.Addr, core.ProtoID, nd, cfg.Delta, int64(i)%cfg.Delta); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("bootstrapping %d nodes... ", numNodes)
+	net.Run(cfg.Delta * 30)
+	fmt.Printf("done (%d messages)\n", net.Stats().Sent)
+
+	// 2. Build the store on the bootstrapped tables.
+	nodes := make([]*dht.Node, numNodes)
+	for i, b := range boot {
+		nodes[i] = dht.NewNode(pastry.FromBootstrap(b))
+	}
+	cluster := dht.NewCluster(nodes, replicas)
+
+	rng := rand.New(rand.NewSource(44))
+	keys := make([]id.ID, numKeys)
+	for i := range keys {
+		keys[i] = id.ID(rng.Uint64())
+		val := []byte(fmt.Sprintf("value-%d", i))
+		if _, err := cluster.Put(descs[rng.Intn(numNodes)].Addr, keys[i], val); err != nil {
+			return fmt.Errorf("put key %d: %w", i, err)
+		}
+	}
+	fmt.Printf("stored %d keys with replication %d\n", numKeys, replicas)
+
+	// 3. Crash 10% of the nodes and measure availability.
+	crashed := make(map[peer.Addr]bool, numNodes/10)
+	for len(crashed) < numNodes/10 {
+		victim := descs[rng.Intn(numNodes)].Addr
+		if !crashed[victim] {
+			crashed[victim] = true
+			cluster.Remove(victim)
+		}
+	}
+	fmt.Printf("crashed %d nodes (%d survive)\n", len(crashed), cluster.Len())
+
+	available, lost := 0, 0
+	for i, key := range keys {
+		var from peer.Addr
+		for {
+			from = descs[rng.Intn(numNodes)].Addr
+			if !crashed[from] {
+				break
+			}
+		}
+		val, err := cluster.Get(from, key)
+		if err != nil {
+			lost++
+			continue
+		}
+		if string(val) != fmt.Sprintf("value-%d", i) {
+			return fmt.Errorf("key %d corrupted", i)
+		}
+		available++
+	}
+	fmt.Printf("after the crash: %d/%d keys readable (%.2f%% availability)\n",
+		available, numKeys, 100*float64(available)/float64(numKeys))
+	if available < numKeys*99/100 {
+		return fmt.Errorf("availability below 99%%")
+	}
+	return nil
+}

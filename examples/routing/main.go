@@ -1,0 +1,123 @@
+// Routing: jump-start a network, then use it as a DHT. The bootstrapped
+// leaf sets and prefix tables are consumed directly by two routing
+// substrates — Pastry-style greedy prefix routing and Kademlia-style
+// iterative XOR lookups — demonstrating the paper's claim that the
+// bootstrap output *is* the routing state of prefix-based overlays.
+//
+//	go run ./examples/routing
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/id"
+	"repro/internal/overlay/kademlia"
+	"repro/internal/overlay/pastry"
+	"repro/internal/peer"
+	"repro/internal/sampling"
+	"repro/internal/simnet"
+)
+
+const (
+	numNodes   = 2000
+	numLookups = 2000
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "routing:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Bootstrap.
+	net := simnet.New(simnet.Config{Seed: 3})
+	ids := id.Unique(numNodes, 4)
+	descs := make([]peer.Descriptor, numNodes)
+	for i := range descs {
+		descs[i] = peer.Descriptor{ID: ids[i], Addr: net.AddNode()}
+	}
+	oracle := sampling.NewOracle(descs, 5)
+	cfg := core.DefaultConfig()
+	nodes := make([]*core.Node, numNodes)
+	for i, d := range descs {
+		nd, err := core.NewNode(d, cfg, oracle)
+		if err != nil {
+			return err
+		}
+		nodes[i] = nd
+		if err := net.Attach(d.Addr, core.ProtoID, nd, cfg.Delta, int64(i)%cfg.Delta); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("bootstrapping %d nodes...\n", numNodes)
+	net.Run(cfg.Delta * 30)
+	fmt.Printf("done after 30 cycles (%d messages)\n\n", net.Stats().Sent)
+
+	// 2. Pastry-style routing.
+	routers := make([]*pastry.Router, numNodes)
+	for i, nd := range nodes {
+		routers[i] = pastry.FromBootstrap(nd)
+	}
+	mesh := pastry.NewMesh(routers, 0)
+	rng := rand.New(rand.NewSource(6))
+	hopHist := make(map[int]int)
+	total, failures := 0, 0
+	for i := 0; i < numLookups; i++ {
+		key := id.ID(rng.Uint64())
+		path, err := mesh.Route(descs[rng.Intn(numNodes)].Addr, key)
+		if err != nil {
+			failures++
+			continue
+		}
+		hops := len(path) - 1
+		hopHist[hops]++
+		total += hops
+	}
+	fmt.Printf("pastry: %d lookups, %d failures, mean hops %.2f\n",
+		numLookups, failures, float64(total)/float64(numLookups-failures))
+	for h := 0; h <= 8; h++ {
+		if c := hopHist[h]; c > 0 {
+			fmt.Printf("  %d hops: %5d (%4.1f%%)\n", h, c, 100*float64(c)/float64(numLookups))
+		}
+	}
+
+	// 3. Kademlia-style lookups over the same tables.
+	knodes := make([]*kademlia.Node, numNodes)
+	for i, nd := range nodes {
+		knodes[i] = kademlia.FromBootstrap(nd)
+	}
+	kmesh := kademlia.NewMesh(knodes, 0)
+	queried, rounds, hits := 0, 0, 0
+	for i := 0; i < numLookups; i++ {
+		key := id.ID(rng.Uint64())
+		res, err := kmesh.Lookup(descs[rng.Intn(numNodes)].Addr, key)
+		if err != nil {
+			continue
+		}
+		queried += res.Queried
+		rounds += res.Rounds
+		if res.Closest[0].ID == xorClosest(descs, key).ID {
+			hits++
+		}
+	}
+	fmt.Printf("\nkademlia: %d lookups, %.1f%% found the global XOR-closest node\n",
+		numLookups, 100*float64(hits)/float64(numLookups))
+	fmt.Printf("  mean FindNode RPCs per lookup: %.1f, mean rounds: %.1f\n",
+		float64(queried)/float64(numLookups), float64(rounds)/float64(numLookups))
+	return nil
+}
+
+func xorClosest(descs []peer.Descriptor, key id.ID) peer.Descriptor {
+	best := descs[0]
+	for _, d := range descs[1:] {
+		if id.XORDistance(key, d.ID) < id.XORDistance(key, best.ID) {
+			best = d
+		}
+	}
+	return best
+}

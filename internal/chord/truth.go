@@ -1,0 +1,72 @@
+package chord
+
+import (
+	"sort"
+
+	"repro/internal/id"
+)
+
+// Ring is the ground-truth oracle for Chord structures over a fixed
+// membership.
+type Ring struct {
+	sorted []id.ID
+	pos    map[id.ID]int
+}
+
+// NewRing builds the oracle from the membership IDs.
+func NewRing(ids []id.ID) *Ring {
+	r := &Ring{
+		sorted: make([]id.ID, len(ids)),
+		pos:    make(map[id.ID]int, len(ids)),
+	}
+	copy(r.sorted, ids)
+	sort.Slice(r.sorted, func(i, j int) bool { return r.sorted[i] < r.sorted[j] })
+	for i, v := range r.sorted {
+		r.pos[v] = i
+	}
+	return r
+}
+
+// Successor returns the first member clockwise from point (inclusive).
+func (r *Ring) Successor(point id.ID) id.ID {
+	i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i] >= point })
+	if i == len(r.sorted) {
+		i = 0 // wrap
+	}
+	return r.sorted[i]
+}
+
+// TrueFinger returns the correct finger i for the given node: the
+// successor of self + 2^i.
+func (r *Ring) TrueFinger(self id.ID, i int) id.ID {
+	return r.Successor(self + id.ID(uint64(1)<<uint(i)))
+}
+
+// FingerErrors counts how many of a node's fingers differ from ground
+// truth, out of NumFingers.
+func (r *Ring) FingerErrors(n *Node) (wrong, total int) {
+	for i := 0; i < NumFingers; i++ {
+		total++
+		want := r.TrueFinger(n.Self().ID, i)
+		got := n.Finger(i)
+		if got.Nil() || got.ID != want {
+			wrong++
+		}
+	}
+	return wrong, total
+}
+
+// NetworkFingerErrors aggregates FingerErrors over a population.
+func (r *Ring) NetworkFingerErrors(nodes []*Node) (wrong, total int) {
+	for _, n := range nodes {
+		w, t := r.FingerErrors(n)
+		wrong += w
+		total += t
+	}
+	return wrong, total
+}
+
+// RootOf returns the member that owns key under Chord's successor rule.
+func (r *Ring) RootOf(key id.ID) id.ID {
+	return r.Successor(key)
+}

@@ -1,0 +1,62 @@
+// Package coord models network proximity: each node gets a point on the
+// unit torus and the latency between two nodes is their torus distance.
+// The paper notes that keeping k > 1 entries per prefix-table slot "allows
+// for optimizing the routes according to proximity"; this package supplies
+// the proximity metric those experiments need.
+package coord
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/peer"
+)
+
+// Space assigns virtual coordinates to node addresses.
+type Space struct {
+	pts   [][2]float64
+	scale float64
+}
+
+// NewRandomSpace places n nodes uniformly on the unit torus, with
+// latencies scaled so the network diameter is about scale time units.
+// scale <= 0 selects 100.
+func NewRandomSpace(n int, seed int64, scale float64) *Space {
+	if scale <= 0 {
+		scale = 100
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{rng.Float64(), rng.Float64()}
+	}
+	return &Space{pts: pts, scale: scale}
+}
+
+// Len returns the number of placed nodes.
+func (s *Space) Len() int { return len(s.pts) }
+
+// Latency returns the symmetric proximity cost between two addresses.
+// Unknown addresses cost the full diameter.
+func (s *Space) Latency(a, b peer.Addr) int64 {
+	if !s.valid(a) || !s.valid(b) {
+		return int64(s.scale)
+	}
+	pa, pb := s.pts[a], s.pts[b]
+	dx := torusDelta(pa[0], pb[0])
+	dy := torusDelta(pa[1], pb[1])
+	return int64(math.Sqrt(dx*dx+dy*dy) * s.scale)
+}
+
+// torusDelta is the wrapped 1-D distance on the unit circle.
+func torusDelta(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}
+
+func (s *Space) valid(a peer.Addr) bool {
+	return a >= 0 && int(a) < len(s.pts)
+}

@@ -1,0 +1,53 @@
+package coord
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/peer"
+)
+
+func TestLatencyProperties(t *testing.T) {
+	s := NewRandomSpace(100, 1, 100)
+	if s.Len() != 100 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	f := func(ar, br uint8) bool {
+		a, b := peer.Addr(int(ar)%100), peer.Addr(int(br)%100)
+		la, lb := s.Latency(a, b), s.Latency(b, a)
+		if la != lb {
+			return false // symmetry
+		}
+		if a == b && la != 0 {
+			return false // identity
+		}
+		// Max torus distance is sqrt(0.5^2+0.5^2) ~ 0.707 of scale.
+		return la >= 0 && la <= 71
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencyUnknownAddr(t *testing.T) {
+	s := NewRandomSpace(10, 2, 100)
+	if got := s.Latency(peer.Addr(99), 0); got != 100 {
+		t.Errorf("unknown addr latency = %d, want full diameter 100", got)
+	}
+	if got := s.Latency(peer.NoAddr, 0); got != 100 {
+		t.Errorf("NoAddr latency = %d, want 100", got)
+	}
+}
+
+func TestDefaultScale(t *testing.T) {
+	s := NewRandomSpace(10, 3, 0)
+	if s.scale != 100 {
+		t.Errorf("default scale = %v, want 100", s.scale)
+	}
+}
+
+func TestTorusWraps(t *testing.T) {
+	if d := torusDelta(0.05, 0.95); d > 0.11 {
+		t.Errorf("torus delta across the seam = %v, want ~0.1", d)
+	}
+}

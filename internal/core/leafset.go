@@ -1,0 +1,180 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/id"
+	"repro/internal/peer"
+)
+
+// LeafSet holds a node's nearest neighbours in the ring of IDs: up to c/2
+// closest successors and c/2 closest predecessors, the selection rule of
+// the paper's UpdateLeafSet. When one direction cannot supply c/2 nodes,
+// the set is topped up with the closest nodes from the other direction, so
+// the set holds min(c, |known peers|) entries.
+type LeafSet struct {
+	self id.ID
+	c    int
+	succ []peer.Descriptor // ascending clockwise distance from self
+	pred []peer.Descriptor // ascending counter-clockwise distance from self
+}
+
+// NewLeafSet returns an empty leaf set of capacity c for the given node.
+func NewLeafSet(self id.ID, c int) *LeafSet {
+	return &LeafSet{self: self, c: c}
+}
+
+// Update merges the given descriptors into the leaf set and re-applies the
+// selection rule. The node's own descriptor and duplicates are ignored.
+// It reports whether the kept set changed.
+func (l *LeafSet) Update(ds []peer.Descriptor) bool {
+	pool := peer.NewSet(len(l.succ) + len(l.pred) + len(ds))
+	for _, d := range l.succ {
+		pool.Add(d)
+	}
+	for _, d := range l.pred {
+		pool.Add(d)
+	}
+	added := false
+	for _, d := range ds {
+		if d.ID == l.self {
+			continue
+		}
+		if pool.Add(d) {
+			added = true
+		}
+	}
+	if !added {
+		return false
+	}
+	before := make(map[id.ID]struct{}, l.Len())
+	for _, d := range l.succ {
+		before[d.ID] = struct{}{}
+	}
+	for _, d := range l.pred {
+		before[d.ID] = struct{}{}
+	}
+	l.rebuild(pool.Slice())
+	if l.Len() != len(before) {
+		return true
+	}
+	for _, d := range l.succ {
+		if _, ok := before[d.ID]; !ok {
+			return true
+		}
+	}
+	for _, d := range l.pred {
+		if _, ok := before[d.ID]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// rebuild applies the paper's selection rule to an arbitrary candidate pool.
+func (l *LeafSet) rebuild(pool []peer.Descriptor) {
+	succ := make([]peer.Descriptor, 0, len(pool))
+	pred := make([]peer.Descriptor, 0, len(pool))
+	for _, d := range pool {
+		if d.ID == l.self {
+			continue
+		}
+		if id.IsSuccessor(l.self, d.ID) {
+			succ = append(succ, d)
+		} else {
+			pred = append(pred, d)
+		}
+	}
+	sort.Slice(succ, func(i, j int) bool {
+		return id.Succ(l.self, succ[i].ID) < id.Succ(l.self, succ[j].ID)
+	})
+	sort.Slice(pred, func(i, j int) bool {
+		return id.Pred(l.self, pred[i].ID) < id.Pred(l.self, pred[j].ID)
+	})
+
+	half := l.c / 2
+	nSucc := min(len(succ), half)
+	nPred := min(len(pred), half)
+	// Top up from the other direction when one side is short.
+	if spare := l.c - nSucc - nPred; spare > 0 {
+		nSucc = min(len(succ), nSucc+spare)
+	}
+	if spare := l.c - nSucc - nPred; spare > 0 {
+		nPred = min(len(pred), nPred+spare)
+	}
+	l.succ = append(l.succ[:0], succ[:nSucc]...)
+	l.pred = append(l.pred[:0], pred[:nPred]...)
+}
+
+// Len returns the number of descriptors currently held.
+func (l *LeafSet) Len() int { return len(l.succ) + len(l.pred) }
+
+// Capacity returns the configured leaf set size c.
+func (l *LeafSet) Capacity() int { return l.c }
+
+// Successors returns the kept successors, closest first. The slice is the
+// internal storage; callers must not modify it.
+func (l *LeafSet) Successors() []peer.Descriptor { return l.succ }
+
+// Predecessors returns the kept predecessors, closest first. The slice is
+// the internal storage; callers must not modify it.
+func (l *LeafSet) Predecessors() []peer.Descriptor { return l.pred }
+
+// Slice returns all leaf set descriptors (successors then predecessors) as
+// a fresh slice.
+func (l *LeafSet) Slice() []peer.Descriptor {
+	out := make([]peer.Descriptor, 0, l.Len())
+	out = append(out, l.succ...)
+	out = append(out, l.pred...)
+	return out
+}
+
+// Contains reports whether a descriptor with the given ID is in the set.
+func (l *LeafSet) Contains(nodeID id.ID) bool {
+	for _, d := range l.succ {
+		if d.ID == nodeID {
+			return true
+		}
+	}
+	for _, d := range l.pred {
+		if d.ID == nodeID {
+			return true
+		}
+	}
+	return false
+}
+
+// SortedByRingDistance returns the leaf set ordered by (undirected) ring
+// distance from the node, closest first — the order used by SelectPeer.
+// Successor/predecessor lists are already sorted, so this is a merge.
+func (l *LeafSet) SortedByRingDistance() []peer.Descriptor {
+	out := make([]peer.Descriptor, 0, l.Len())
+	i, j := 0, 0
+	for i < len(l.succ) && j < len(l.pred) {
+		ds := id.Succ(l.self, l.succ[i].ID)
+		dp := id.Pred(l.self, l.pred[j].ID)
+		if ds <= dp {
+			out = append(out, l.succ[i])
+			i++
+		} else {
+			out = append(out, l.pred[j])
+			j++
+		}
+	}
+	out = append(out, l.succ[i:]...)
+	out = append(out, l.pred[j:]...)
+	return out
+}
+
+// Remove drops a descriptor (e.g. one detected as dead) from the set.
+func (l *LeafSet) Remove(nodeID id.ID) {
+	l.succ = peer.Without(l.succ, nodeID)
+	l.pred = peer.Without(l.pred, nodeID)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"repro/internal/id"
+	"repro/internal/peer"
+)
+
+// PrefixTable is the routing structure at the heart of prefix-based DHTs:
+// for every pair (i, j) — i the longest-common-prefix length with the
+// node's own ID in base-2^b digits, j the first differing digit — it holds
+// up to k descriptors of nodes whose IDs realise that pair. Rows are
+// allocated lazily, because at any practical network size only the first
+// O(log N) rows can ever be populated.
+type PrefixTable struct {
+	self id.ID
+	b, k int
+	rows [][][]peer.Descriptor // rows[i][j] is the (i, j) slot, cap k
+}
+
+// NewPrefixTable returns an empty prefix table for the given node.
+func NewPrefixTable(self id.ID, b, k int) *PrefixTable {
+	return &PrefixTable{
+		self: self,
+		b:    b,
+		k:    k,
+		rows: make([][][]peer.Descriptor, id.NumDigits(b)),
+	}
+}
+
+// Slot locates the (row, column) a descriptor ID belongs to relative to the
+// table owner. ok is false for the owner's own ID.
+func (t *PrefixTable) Slot(nodeID id.ID) (row, col int, ok bool) {
+	if nodeID == t.self {
+		return 0, 0, false
+	}
+	row = id.CommonPrefixLen(t.self, nodeID, t.b)
+	col = nodeID.Digit(row, t.b)
+	return row, col, true
+}
+
+// Add inserts a descriptor into its slot unless the slot is full or the
+// descriptor is already present. It reports whether the table changed —
+// this is the paper's UpdatePrefixTable applied to a single descriptor.
+func (t *PrefixTable) Add(d peer.Descriptor) bool {
+	row, col, ok := t.Slot(d.ID)
+	if !ok {
+		return false
+	}
+	if t.rows[row] == nil {
+		t.rows[row] = make([][]peer.Descriptor, 1<<uint(t.b))
+	}
+	slot := t.rows[row][col]
+	if len(slot) >= t.k {
+		return false
+	}
+	for _, cur := range slot {
+		if cur.ID == d.ID {
+			return false
+		}
+	}
+	t.rows[row][col] = append(slot, d)
+	return true
+}
+
+// AddAll inserts every descriptor of ds (the paper's UpdatePrefixTable).
+// It reports how many entries were inserted.
+func (t *PrefixTable) AddAll(ds []peer.Descriptor) int {
+	n := 0
+	for _, d := range ds {
+		if t.Add(d) {
+			n++
+		}
+	}
+	return n
+}
+
+// Get returns the slot contents for (row, col). The returned slice is
+// internal storage; callers must not modify it.
+func (t *PrefixTable) Get(row, col int) []peer.Descriptor {
+	if row < 0 || row >= len(t.rows) || t.rows[row] == nil {
+		return nil
+	}
+	if col < 0 || col >= len(t.rows[row]) {
+		return nil
+	}
+	return t.rows[row][col]
+}
+
+// Len returns the total number of entries in the table.
+func (t *PrefixTable) Len() int {
+	n := 0
+	for _, row := range t.rows {
+		for _, slot := range row {
+			n += len(slot)
+		}
+	}
+	return n
+}
+
+// Each calls fn for every entry in the table, row by row. fn returning
+// false stops the iteration.
+func (t *PrefixTable) Each(fn func(row, col int, d peer.Descriptor) bool) {
+	for i, row := range t.rows {
+		for j, slot := range row {
+			for _, d := range slot {
+				if !fn(i, j, d) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Entries returns all table entries as a fresh slice.
+func (t *PrefixTable) Entries() []peer.Descriptor {
+	out := make([]peer.Descriptor, 0, t.Len())
+	t.Each(func(_, _ int, d peer.Descriptor) bool {
+		out = append(out, d)
+		return true
+	})
+	return out
+}
+
+// SlotCounts returns, for each row, the number of entries per column.
+// Used by the ground-truth comparison.
+func (t *PrefixTable) SlotCounts() [][]int {
+	out := make([][]int, len(t.rows))
+	for i, row := range t.rows {
+		out[i] = make([]int, 1<<uint(t.b))
+		for j, slot := range row {
+			out[i][j] = len(slot)
+		}
+	}
+	return out
+}
+
+// Remove drops the entry with the given ID, if present (e.g. a peer
+// detected as dead).
+func (t *PrefixTable) Remove(nodeID id.ID) {
+	row, col, ok := t.Slot(nodeID)
+	if !ok || t.rows[row] == nil {
+		return
+	}
+	t.rows[row][col] = peer.Without(t.rows[row][col], nodeID)
+}
+
+// Owner returns the ID of the node this table belongs to.
+func (t *PrefixTable) Owner() id.ID { return t.self }
+
+// B returns the digit width parameter.
+func (t *PrefixTable) B() int { return t.b }
+
+// K returns the per-slot capacity.
+func (t *PrefixTable) K() int { return t.k }
+
+// NumRows returns the number of rows (64/b).
+func (t *PrefixTable) NumRows() int { return len(t.rows) }

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/id"
+	"repro/internal/peer"
+	"repro/internal/proto"
+	"repro/internal/sampling"
+)
+
+// ProtoID is the simnet protocol identifier conventionally used for the
+// bootstrapping layer (the sampling layer uses 1).
+const ProtoID proto.ProtoID = 2
+
+// Message is one half of a bootstrap gossip exchange (paper Figure 2): a
+// set of node descriptors optimised for the receiver, carrying the sender's
+// own descriptor so the receiver can answer. Request messages ask for an
+// answer built the same way.
+type Message struct {
+	Sender  peer.Descriptor
+	Entries []peer.Descriptor
+	Request bool
+	// Dead carries death certificates — IDs the sender has evicted via
+	// its failure detector. Only present when the eviction extension is
+	// enabled; receivers adopt them as tombstones so departures
+	// propagate like rumors instead of fighting gossip reinfection.
+	Dead []id.ID
+}
+
+// WireSize reports the message size in descriptor units (the entries plus
+// the sender descriptor; certificates are half a descriptor each).
+func (m Message) WireSize() int { return len(m.Entries) + 1 + (len(m.Dead)+1)/2 }
+
+// maxCertificates caps the death certificates attached per message.
+const maxCertificates = 32
+
+// Node is the bootstrap protocol state machine for one participant. It
+// implements proto.Protocol; the same callbacks are driven by the
+// concurrent livenet runtime.
+type Node struct {
+	cfg     Config
+	self    peer.Descriptor
+	sampler sampling.Service
+	leaf    *LeafSet
+	table   *PrefixTable
+
+	// exchanges counts completed update rounds, for observability.
+	exchanges int64
+
+	// Failure-detector state (used only when cfg.EvictAfterMisses > 0):
+	// the peer whose answer is outstanding, whether it answered,
+	// consecutive unanswered requests per peer, local tombstones for
+	// evicted peers (expiry tick), and the tick counter.
+	pending  peer.Descriptor
+	answered bool
+	misses   map[id.ID]int
+	tombs    map[id.ID]int64
+	ticks    int64
+}
+
+// tombstoneTTL is how many ticks an evicted peer stays blacklisted. A
+// falsely evicted live peer (consecutive message losses) is relearned
+// through gossip once its tombstone expires.
+const tombstoneTTL = 20
+
+// sweepEvery makes every sweepEvery-th request (in expectation) probe a
+// uniformly random known entry instead of a close ring neighbour, so dead
+// entries outside the gossip working set are eventually detected.
+const sweepEvery = 4
+
+// certificates returns the unexpired tombstoned IDs, capped for transport.
+func (n *Node) certificates() []id.ID {
+	if len(n.tombs) == 0 {
+		return nil
+	}
+	out := make([]id.ID, 0, len(n.tombs))
+	for dead, expiry := range n.tombs {
+		if n.ticks >= expiry {
+			delete(n.tombs, dead)
+			continue
+		}
+		out = append(out, dead)
+		if len(out) == maxCertificates {
+			break
+		}
+	}
+	return out
+}
+
+// adoptCertificates merges a peer's death certificates: each new one
+// tombstones and removes the named entry locally.
+func (n *Node) adoptCertificates(sender peer.Descriptor, dead []id.ID) {
+	for _, d := range dead {
+		if d == n.self.ID || d == sender.ID {
+			continue
+		}
+		if _, known := n.tombs[d]; known {
+			continue
+		}
+		n.tombs[d] = n.ticks + tombstoneTTL
+		n.leaf.Remove(d)
+		n.table.Remove(d)
+	}
+}
+
+var _ proto.Protocol = (*Node)(nil)
+
+// NewNode returns a bootstrap node with empty structures. The sampler is
+// the co-located peer sampling service (oracle or NEWSCAST instance).
+func NewNode(self peer.Descriptor, cfg Config, sampler sampling.Service) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("new node %s: %w", self.ID, err)
+	}
+	if sampler == nil {
+		return nil, fmt.Errorf("new node %s: nil sampler", self.ID)
+	}
+	n := &Node{
+		cfg:     cfg,
+		self:    self,
+		sampler: sampler,
+		leaf:    NewLeafSet(self.ID, cfg.C),
+		table:   NewPrefixTable(self.ID, cfg.B, cfg.K),
+		pending: peer.None,
+	}
+	if cfg.EvictAfterMisses > 0 {
+		n.misses = make(map[id.ID]int)
+		n.tombs = make(map[id.ID]int64)
+	}
+	return n, nil
+}
+
+// Init implements the paper's start procedure: the leaf set is initialised
+// with random nodes from the sampling service and the prefix table is
+// cleared (it is born empty here).
+func (n *Node) Init(ctx proto.Context) {
+	n.leaf.Update(n.sampler.Sample(n.cfg.C))
+}
+
+// Tick is one iteration of the active thread: select a peer from the closer
+// half of the leaf set, send it an optimised message, and (on arrival of
+// the answer, via Handle) update the leaf set and prefix table.
+func (n *Node) Tick(ctx proto.Context) {
+	n.ticks++
+	n.noteMissedAnswer()
+	q := peer.None
+	if n.cfg.EvictAfterMisses > 0 && ctx.Rand().Intn(sweepEvery) == 0 {
+		q = n.sweepTarget(ctx.Rand())
+	}
+	if q.Nil() {
+		q = n.selectPeer(ctx.Rand())
+	}
+	if q.Nil() {
+		return
+	}
+	if n.cfg.EvictAfterMisses > 0 {
+		n.pending, n.answered = q, false
+	}
+	ctx.Send(q.Addr, n.createMessage(q, true))
+}
+
+// sweepTarget picks a uniformly random entry from the node's structures —
+// the probe that lets the failure detector reach entries the ring gossip
+// never contacts (far leaf entries and prefix-table slots).
+func (n *Node) sweepTarget(rng *rand.Rand) peer.Descriptor {
+	all := n.leaf.Slice()
+	all = append(all, n.table.Entries()...)
+	if len(all) == 0 {
+		return peer.None
+	}
+	return all[rng.Intn(len(all))]
+}
+
+// noteMissedAnswer charges the previously contacted peer when its answer
+// never arrived, evicting it after EvictAfterMisses consecutive misses.
+func (n *Node) noteMissedAnswer() {
+	if n.cfg.EvictAfterMisses == 0 || n.pending.Nil() || n.answered {
+		return
+	}
+	n.misses[n.pending.ID]++
+	if n.misses[n.pending.ID] >= n.cfg.EvictAfterMisses {
+		n.leaf.Remove(n.pending.ID)
+		n.table.Remove(n.pending.ID)
+		delete(n.misses, n.pending.ID)
+		// Blacklist so gossip cannot immediately reintroduce the
+		// entry; the tombstone expires in case this was a false
+		// positive caused by message loss.
+		n.tombs[n.pending.ID] = n.ticks + tombstoneTTL
+	}
+	n.pending = peer.None
+}
+
+// filterTombstoned drops descriptors currently blacklisted, expiring
+// tombstones lazily.
+func (n *Node) filterTombstoned(ds []peer.Descriptor) []peer.Descriptor {
+	if len(n.tombs) == 0 {
+		return ds
+	}
+	out := ds[:0:len(ds)]
+	for _, d := range ds {
+		if expiry, dead := n.tombs[d.ID]; dead {
+			if n.ticks < expiry {
+				continue
+			}
+			delete(n.tombs, d.ID)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Handle implements both the passive thread (answer requests with an
+// equally optimised message) and the tail of the active thread (merge the
+// answer).
+func (n *Node) Handle(ctx proto.Context, from peer.Addr, msg proto.Message) {
+	m, ok := msg.(Message)
+	if !ok {
+		return
+	}
+	if m.Request {
+		ctx.Send(from, n.createMessage(m.Sender, false))
+	}
+	entries := m.Entries
+	if n.cfg.EvictAfterMisses > 0 {
+		// Any message from a peer proves it alive.
+		delete(n.misses, m.Sender.ID)
+		delete(n.tombs, m.Sender.ID)
+		if m.Sender.ID == n.pending.ID {
+			n.answered = true
+		}
+		n.adoptCertificates(m.Sender, m.Dead)
+		entries = n.filterTombstoned(entries)
+	}
+	n.updateLeafSet(entries)
+	n.updatePrefixTable(entries)
+	n.exchanges++
+}
+
+// updateLeafSet is the paper's UpdateLeafSet: merge and keep the c/2
+// closest successors and predecessors.
+func (n *Node) updateLeafSet(ds []peer.Descriptor) {
+	n.leaf.Update(ds)
+}
+
+// updatePrefixTable is the paper's UpdatePrefixTable: fill any missing
+// table entries from the received set.
+func (n *Node) updatePrefixTable(ds []peer.Descriptor) {
+	n.table.AddAll(ds)
+}
+
+// selectPeer picks a random peer from the closer half of the leaf set.
+//
+// The paper sorts the whole leaf set by ring distance and samples the
+// first half. When one ring direction is locally much denser than the
+// other, that half can consist entirely of one direction, so the node
+// never gossips toward its sparse side; the node then cannot learn its
+// farthest neighbour there except through the random-sample lottery, which
+// stalls full convergence for tens of cycles (incompatible with the clean
+// convergence the paper reports). We therefore take the closer half of
+// each direction — in the typical balanced case the same set of peers —
+// which restores symmetric information flow. Before the leaf set has any
+// entries the node falls back to a random sample, which also re-bootstraps
+// a node that lost all neighbours.
+func (n *Node) selectPeer(rng *rand.Rand) peer.Descriptor {
+	succ, pred := n.leaf.Successors(), n.leaf.Predecessors()
+	if len(succ) == 0 && len(pred) == 0 {
+		s := n.sampler.Sample(1)
+		if len(s) == 0 {
+			return peer.None
+		}
+		return s[0]
+	}
+	nSucc := (len(succ) + 1) / 2
+	nPred := (len(pred) + 1) / 2
+	i := rng.Intn(nSucc + nPred)
+	if i < nSucc {
+		return succ[i]
+	}
+	return pred[i-nSucc]
+}
+
+// createMessage is the paper's CreateMessage: from everything locally known
+// — leaf set, cr fresh random samples, the prefix table, and the node's own
+// descriptor — keep the c entries closest to the destination q, then append
+// the remaining descriptors as the prefix part, bounded by the size of a
+// full prefix table.
+//
+// Interpretation note: the paper describes the prefix part as "all node
+// descriptors that are potentially useful for the peer for its prefix
+// table (i.e., have a common prefix with the peer ID)". Row 0 of a prefix
+// table is populated by IDs whose common prefix with the owner is *empty*,
+// so every descriptor is potentially useful; filtering for a non-empty
+// common prefix would permanently starve row 0 once the ring converges and
+// messages carry only ring-near entries, contradicting the paper's perfect
+// convergence. We therefore ship all remaining union entries, which also
+// matches the paper's stated bound (the size of the full prefix table,
+// "usually smaller in practice" — the union is far smaller than 768).
+func (n *Node) createMessage(q peer.Descriptor, request bool) Message {
+	union := peer.NewSet(n.cfg.C + n.cfg.CR + n.table.Len() + 1)
+	union.Add(n.self)
+	union.AddAll(n.leaf.Slice())
+	if n.cfg.CR > 0 {
+		union.AddAll(n.sampler.Sample(n.cfg.CR))
+	}
+	if !n.cfg.DisablePrefixFeedback {
+		union.AddAll(n.table.Entries())
+	}
+	union.Remove(q.ID) // never ship the destination its own descriptor
+
+	all := union.Copy()
+	peer.SortByRingDistance(all, q.ID)
+
+	nBase := min(n.cfg.C, len(all))
+	nExtra := 0
+	if !n.cfg.DisablePrefixFeedback {
+		nExtra = min(len(all)-nBase, n.cfg.TableCapacity())
+	}
+	entries := make([]peer.Descriptor, nBase+nExtra)
+	copy(entries, all[:nBase+nExtra])
+	m := Message{Sender: n.self, Entries: entries, Request: request}
+	if n.cfg.EvictAfterMisses > 0 {
+		m.Dead = n.certificates()
+	}
+	return m
+}
+
+// Self returns the node's own descriptor.
+func (n *Node) Self() peer.Descriptor { return n.self }
+
+// Leaf returns the node's leaf set.
+func (n *Node) Leaf() *LeafSet { return n.leaf }
+
+// Table returns the node's prefix table.
+func (n *Node) Table() *PrefixTable { return n.table }
+
+// Exchanges returns the number of completed update rounds.
+func (n *Node) Exchanges() int64 { return n.exchanges }
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.cfg }

@@ -1,0 +1,174 @@
+// Package dht implements a replicated key-value store over the
+// bootstrapped overlay — the kind of "application" the paper's
+// architecture diagram places on top of the structured overlay layer
+// (PAST-style: a key's root is the ring-closest node, replicas go to the
+// root's nearest ring neighbours, so responsibility migrates to a replica
+// automatically when the root departs).
+package dht
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/id"
+	"repro/internal/overlay/pastry"
+	"repro/internal/peer"
+)
+
+// DefaultReplicas is the replication factor used when none is given.
+const DefaultReplicas = 3
+
+// Node is one DHT participant: a router plus local storage.
+type Node struct {
+	router *pastry.Router
+	data   map[id.ID][]byte
+}
+
+// NewNode wraps a router with an empty store.
+func NewNode(r *pastry.Router) *Node {
+	return &Node{router: r, data: make(map[id.ID][]byte)}
+}
+
+// Addr returns the node's address.
+func (n *Node) Addr() peer.Addr { return n.router.Self().Addr }
+
+// Keys returns the number of keys stored locally.
+func (n *Node) Keys() int { return len(n.data) }
+
+// Cluster evaluates DHT operations over a population of nodes, simulating
+// the message flow synchronously (route to root, then replicate to the
+// root's ring neighbourhood).
+type Cluster struct {
+	nodes    map[peer.Addr]*Node
+	mesh     *pastry.Mesh
+	replicas int
+}
+
+// NewCluster builds a cluster; replicas <= 0 selects DefaultReplicas.
+func NewCluster(nodes []*Node, replicas int) *Cluster {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	routers := make([]*pastry.Router, len(nodes))
+	byAddr := make(map[peer.Addr]*Node, len(nodes))
+	for i, n := range nodes {
+		routers[i] = n.router
+		byAddr[n.Addr()] = n
+	}
+	return &Cluster{
+		nodes:    byAddr,
+		mesh:     pastry.NewMesh(routers, 0),
+		replicas: replicas,
+	}
+}
+
+// Errors returned by cluster operations.
+var (
+	ErrNotFound = errors.New("dht: key not found")
+	ErrNoRoute  = errors.New("dht: routing failed")
+)
+
+// Put routes the key from the given node to its root and stores the value
+// at the root and at its replicas-1 closest ring neighbours. It returns
+// the addresses that stored the value.
+func (c *Cluster) Put(from peer.Addr, key id.ID, value []byte) ([]peer.Addr, error) {
+	root, err := c.root(from, key)
+	if err != nil {
+		return nil, err
+	}
+	stored := make([]peer.Addr, 0, c.replicas)
+	for _, addr := range c.replicaSet(root) {
+		node := c.nodes[addr]
+		cp := make([]byte, len(value))
+		copy(cp, value)
+		node.data[key] = cp
+		stored = append(stored, addr)
+	}
+	return stored, nil
+}
+
+// Get routes the key from the given node to its root and returns the
+// stored value, falling back to the root's replica set — which is exactly
+// where responsibility migrates when nodes near the key depart.
+func (c *Cluster) Get(from peer.Addr, key id.ID) ([]byte, error) {
+	root, err := c.root(from, key)
+	if err != nil {
+		return nil, err
+	}
+	for _, addr := range c.replicaSet(root) {
+		if v, ok := c.nodes[addr].data[key]; ok {
+			out := make([]byte, len(v))
+			copy(out, v)
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+}
+
+// Remove drops a node from the cluster (a crash), scrubbing it from every
+// surviving router's structures — the steady-state repair that a running
+// maintenance protocol (or the bootstrap eviction extension) provides.
+func (c *Cluster) Remove(addr peer.Addr) {
+	victim, ok := c.nodes[addr]
+	if !ok {
+		return
+	}
+	delete(c.nodes, addr)
+	victimID := victim.router.Self().ID
+	routers := make([]*pastry.Router, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		n.router.Forget(victimID)
+		routers = append(routers, n.router)
+	}
+	c.mesh = pastry.NewMesh(routers, 0)
+}
+
+// Len returns the number of live nodes.
+func (c *Cluster) Len() int { return len(c.nodes) }
+
+// root resolves the key's current root node address.
+func (c *Cluster) root(from peer.Addr, key id.ID) (*Node, error) {
+	path, err := c.mesh.Route(from, key)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoRoute, err)
+	}
+	node, ok := c.nodes[path[len(path)-1]]
+	if !ok {
+		return nil, fmt.Errorf("%w: root %d unknown", ErrNoRoute, path[len(path)-1])
+	}
+	return node, nil
+}
+
+// replicaSet returns the addresses responsible for keys rooted at the
+// given node: the root plus its closest ring neighbours, alternating
+// successor/predecessor as PAST does.
+func (c *Cluster) replicaSet(root *Node) []peer.Addr {
+	out := []peer.Addr{root.Addr()}
+	succ := root.router.LeafSuccessors()
+	pred := root.router.LeafPredecessors()
+	i, j := 0, 0
+	for len(out) < c.replicas {
+		progressed := false
+		if i < len(succ) {
+			if _, live := c.nodes[succ[i].Addr]; live {
+				out = append(out, succ[i].Addr)
+				progressed = true
+			}
+			i++
+		}
+		if len(out) >= c.replicas {
+			break
+		}
+		if j < len(pred) {
+			if _, live := c.nodes[pred[j].Addr]; live {
+				out = append(out, pred[j].Addr)
+				progressed = true
+			}
+			j++
+		}
+		if i >= len(succ) && j >= len(pred) && !progressed {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package dht_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/id"
+	"repro/internal/overlay/pastry"
+	"repro/internal/peer"
+)
+
+// Example stores and retrieves a value on a small cluster with perfect
+// routing state, surviving the crash of the key's root node.
+func Example() {
+	const n = 64
+	ids := id.Unique(n, 3)
+	descs := make([]peer.Descriptor, n)
+	for i, v := range ids {
+		descs[i] = peer.Descriptor{ID: v, Addr: peer.Addr(i)}
+	}
+	cfg := core.DefaultConfig()
+	nodes := make([]*dht.Node, n)
+	for i, d := range descs {
+		ls := core.NewLeafSet(d.ID, cfg.C)
+		ls.Update(descs)
+		pt := core.NewPrefixTable(d.ID, cfg.B, cfg.K)
+		pt.AddAll(descs)
+		nodes[i] = dht.NewNode(pastry.New(d, ls, pt, cfg.B))
+	}
+	cluster := dht.NewCluster(nodes, 3)
+
+	key := id.ID(0xFEEDFACE00000000)
+	stored, err := cluster.Put(descs[0].Addr, key, []byte("hello"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("replicas:", len(stored))
+
+	cluster.Remove(stored[0]) // crash the root
+	v, err := cluster.Get(descs[5].Addr, key)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("after root crash:", string(v))
+	// Output:
+	// replicas: 3
+	// after root crash: hello
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"math/rand"
+
+	"repro/internal/chord"
+	"repro/internal/id"
+	"repro/internal/peer"
+	"repro/internal/sampling"
+	"repro/internal/simnet"
+)
+
+// ChordParams configures a run of the Chord bootstrap baseline (ablation
+// A3): the same gossip budget as the bootstrapping service, building ring
+// plus fingers instead of ring plus prefix tables.
+type ChordParams struct {
+	N         int
+	Seed      int64
+	Config    chord.Config
+	Drop      float64
+	MaxCycles int
+}
+
+// ChordPoint is one per-cycle measurement of the Chord baseline.
+type ChordPoint struct {
+	Cycle int
+	// FingerWrong is the proportion of finger entries that differ from
+	// ground truth.
+	FingerWrong float64
+	// LeafMissing is the proportion of missing successor/predecessor
+	// entries (against the same perfect-leaf-set rule as the bootstrap
+	// service, using the chord C parameter).
+	LeafMissing float64
+	Sent        int64
+}
+
+// ChordResult is the outcome of a baseline run.
+type ChordResult struct {
+	Params      ChordParams
+	Points      []ChordPoint
+	ConvergedAt int // first cycle with perfect fingers everywhere, or -1
+	Stats       simnet.Stats
+}
+
+// RunChord executes the Chord baseline and returns its per-cycle series.
+func RunChord(p ChordParams) (*ChordResult, error) {
+	if err := p.Config.Validate(); err != nil {
+		return nil, err
+	}
+	net := simnet.New(simnet.Config{Seed: p.Seed, Drop: p.Drop})
+	rng := rand.New(rand.NewSource(p.Seed + 0x51ed270))
+	ids := id.Unique(p.N, p.Seed+0x2545f491)
+	descs := make([]peer.Descriptor, p.N)
+	for i := range descs {
+		descs[i] = peer.Descriptor{ID: ids[i], Addr: net.AddNode()}
+	}
+	oracle := sampling.NewOracle(descs, p.Seed+0x9e3779b9)
+	nodes := make([]*chord.Node, p.N)
+	for i, d := range descs {
+		nd, err := chord.NewNode(d, p.Config, oracle)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = nd
+		if err := net.Attach(d.Addr, chord.ProtoID, nd, p.Config.Delta, rng.Int63n(p.Config.Delta)); err != nil {
+			return nil, err
+		}
+	}
+	ring := chord.NewRing(ids)
+	sorted := make([]id.ID, len(ids))
+	copy(sorted, ids)
+	id.SortAscending(sorted)
+	pos := make(map[id.ID]int, len(sorted))
+	for i, v := range sorted {
+		pos[v] = i
+	}
+
+	res := &ChordResult{Params: p, ConvergedAt: -1}
+	for cycle := 0; cycle < p.MaxCycles; cycle++ {
+		net.Run(int64(cycle+1) * p.Config.Delta)
+		wrong, total := ring.NetworkFingerErrors(nodes)
+		var leafMiss, leafTot int
+		for i, nd := range nodes {
+			lm, lt := leafMissingAgainstRing(sorted, pos[descs[i].ID], nd)
+			leafMiss += lm
+			leafTot += lt
+		}
+		pt := ChordPoint{
+			Cycle:       cycle,
+			FingerWrong: float64(wrong) / float64(total),
+			Sent:        net.Stats().Sent,
+		}
+		if leafTot > 0 {
+			pt.LeafMissing = float64(leafMiss) / float64(leafTot)
+		}
+		res.Points = append(res.Points, pt)
+		if wrong == 0 && leafMiss == 0 {
+			res.ConvergedAt = cycle
+			break
+		}
+	}
+	res.Stats = net.Stats()
+	return res, nil
+}
+
+// leafMissingAgainstRing checks the chord node's successor list against the
+// true ring: its C/2 nearest successors and predecessors in the pre-sorted
+// membership, where pos is the node's own index.
+func leafMissingAgainstRing(sorted []id.ID, pos int, nd *chord.Node) (missing, total int) {
+	half := nd.Leaf().Capacity() / 2
+	n := len(sorted)
+	for i := 1; i <= half && i < n; i++ {
+		total += 2
+		if !nd.Leaf().Contains(sorted[(pos+i)%n]) {
+			missing++
+		}
+		if !nd.Leaf().Contains(sorted[(pos-i+n)%n]) {
+			missing++
+		}
+	}
+	return missing, total
+}

@@ -1,0 +1,451 @@
+// Package experiment is the measurement harness reproducing the paper's
+// evaluation (Section 5). It wires N simulated nodes — sampling layer plus
+// bootstrap layer — into a deterministic simnet, runs the bootstrap
+// protocol, and samples per-cycle convergence: the proportion of missing
+// leaf-set entries and missing prefix-table entries across the whole
+// network, the exact metrics of Figures 3 and 4.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/id"
+	"repro/internal/newscast"
+	"repro/internal/peer"
+	"repro/internal/sampling"
+	"repro/internal/simnet"
+	"repro/internal/truth"
+)
+
+// SamplerKind selects the peer sampling implementation under the bootstrap
+// layer.
+type SamplerKind int
+
+const (
+	// SamplerOracle uses global-knowledge uniform sampling — the
+	// paper's operating assumption ("the sampling service is already
+	// functional").
+	SamplerOracle SamplerKind = iota + 1
+	// SamplerNewscast runs a live NEWSCAST layer under the bootstrap
+	// layer, as in a real deployment of the architecture.
+	SamplerNewscast
+)
+
+// String implements fmt.Stringer.
+func (s SamplerKind) String() string {
+	switch s {
+	case SamplerOracle:
+		return "oracle"
+	case SamplerNewscast:
+		return "newscast"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseSampler converts a CLI flag value into a SamplerKind.
+func ParseSampler(s string) (SamplerKind, error) {
+	switch s {
+	case "oracle":
+		return SamplerOracle, nil
+	case "newscast":
+		return SamplerNewscast, nil
+	default:
+		return 0, fmt.Errorf("unknown sampler %q (want oracle or newscast)", s)
+	}
+}
+
+// Churn describes a node-replacement workload: each cycle in
+// [StartCycle, StopCycle) a fraction Rate of the network is killed and
+// replaced by fresh nodes with new IDs, keeping N constant.
+type Churn struct {
+	Rate       float64
+	StartCycle int
+	StopCycle  int
+}
+
+// Active reports whether churn applies at the given cycle.
+func (c Churn) Active(cycle int) bool {
+	return c.Rate > 0 && cycle >= c.StartCycle && cycle < c.StopCycle
+}
+
+// Params configures one experiment run.
+type Params struct {
+	// N is the network size.
+	N int
+	// Seed drives every random choice in the run.
+	Seed int64
+	// Config holds the bootstrap protocol parameters.
+	Config core.Config
+	// Drop is the uniform message-drop probability (0.2 in Figure 4).
+	Drop float64
+	// MaxCycles bounds the run; the run ends earlier on perfection.
+	MaxCycles int
+	// Sampler selects the sampling layer; zero value means oracle.
+	Sampler SamplerKind
+	// WarmupCycles runs the NEWSCAST layer alone before the bootstrap
+	// layer starts (ignored for the oracle sampler).
+	WarmupCycles int
+	// Churn optionally replaces nodes during the run.
+	Churn Churn
+	// Join optionally injects a massive simultaneous join: Count fresh
+	// nodes start the protocol at the beginning of cycle Cycle. This is
+	// the paper's motivating "massive joins" scenario.
+	Join Join
+	// IDs optionally fixes the initial membership identifiers (length
+	// must equal N). Used to study non-uniform ID distributions; the
+	// default is N uniform random IDs.
+	IDs []id.ID
+	// KeepRunningAfterPerfect continues until MaxCycles even after
+	// perfection, for steady-state studies.
+	KeepRunningAfterPerfect bool
+}
+
+// Join describes a massive simultaneous join event.
+type Join struct {
+	Cycle int
+	Count int
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.N < 2 {
+		return errors.New("experiment: N must be at least 2")
+	}
+	if p.MaxCycles < 1 {
+		return errors.New("experiment: MaxCycles must be positive")
+	}
+	if p.Drop < 0 || p.Drop >= 1 {
+		return fmt.Errorf("experiment: Drop = %v out of [0, 1)", p.Drop)
+	}
+	if p.Churn.Rate < 0 || p.Churn.Rate > 1 {
+		return fmt.Errorf("experiment: churn rate = %v out of [0, 1]", p.Churn.Rate)
+	}
+	if p.Join.Count < 0 || p.Join.Cycle < 0 {
+		return fmt.Errorf("experiment: join = %+v must not be negative", p.Join)
+	}
+	if len(p.IDs) != 0 && len(p.IDs) != p.N {
+		return fmt.Errorf("experiment: %d explicit IDs for N = %d", len(p.IDs), p.N)
+	}
+	return p.Config.Validate()
+}
+
+// Point is one per-cycle measurement across the whole network.
+type Point struct {
+	// Cycle is the cycle index, starting at 0 (the paper's convention:
+	// the first Δ-interval after the staggered start).
+	Cycle int
+	// LeafMissing is the proportion of missing leaf-set entries.
+	LeafMissing float64
+	// PrefixMissing is the proportion of missing prefix-table entries.
+	PrefixMissing float64
+	// LeafPerfect and PrefixPerfect count nodes whose structure is
+	// already perfect.
+	LeafPerfect, PrefixPerfect int
+	// LeafDead and PrefixDead count structure entries pointing at
+	// departed nodes (nonzero only under churn).
+	LeafDead, PrefixDead int
+	// Alive is the number of live nodes at measurement time.
+	Alive int
+	// Sent and Dropped are cumulative network counters.
+	Sent, Dropped int64
+	// WireUnits is the cumulative traffic volume in descriptor units;
+	// the paper argues the prefix part keeps messages well under the
+	// full-table bound, which this exposes.
+	WireUnits int64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Params Params
+	// Points holds one entry per completed cycle, in order.
+	Points []Point
+	// ConvergedAt is the first cycle at which both structures were
+	// perfect at every live node, or -1.
+	ConvergedAt int
+	// Stats is the final network traffic snapshot.
+	Stats simnet.Stats
+}
+
+// member is one node of the experiment network.
+type member struct {
+	desc  peer.Descriptor
+	boot  *core.Node
+	nc    *newscast.Protocol
+	alive bool
+}
+
+// Run executes the experiment and returns the per-cycle series.
+func Run(p Params) (*Result, error) {
+	if p.Sampler == 0 {
+		p.Sampler = SamplerOracle
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := &runner{p: p}
+	return r.run()
+}
+
+type runner struct {
+	p       Params
+	net     *simnet.Network
+	rng     *rand.Rand // harness-level randomness (offsets, churn picks)
+	idGen   *id.Generator
+	oracle  *sampling.Oracle
+	members []*member
+	byID    map[id.ID]*member
+	tr      *truth.Truth
+	stale   bool // membership changed since tr was built
+}
+
+func (r *runner) run() (*Result, error) {
+	p := r.p
+	r.net = simnet.New(simnet.Config{Seed: p.Seed, Drop: p.Drop})
+	r.rng = rand.New(rand.NewSource(p.Seed + 0x9e3779b9))
+	r.idGen = id.NewGenerator(p.Seed + 0x7f4a7c15)
+	r.byID = make(map[id.ID]*member, p.N)
+
+	descs := make([]peer.Descriptor, p.N)
+	for i := 0; i < p.N; i++ {
+		nodeID := r.idGen.Next()
+		if len(p.IDs) == p.N {
+			nodeID = p.IDs[i]
+		}
+		descs[i] = peer.Descriptor{ID: nodeID, Addr: r.net.AddNode()}
+	}
+	r.oracle = sampling.NewOracle(descs, p.Seed+0x1234)
+
+	delta := p.Config.Delta
+	warmup := int64(0)
+	if p.Sampler == SamplerNewscast {
+		warmup = int64(p.WarmupCycles) * delta
+	}
+	for i := 0; i < p.N; i++ {
+		m, err := r.spawn(descs[i], warmup)
+		if err != nil {
+			return nil, err
+		}
+		r.members = append(r.members, m)
+	}
+	if p.Sampler == SamplerNewscast && warmup > 0 {
+		r.net.Run(warmup)
+	}
+	r.stale = true
+
+	res := &Result{Params: p, ConvergedAt: -1}
+	start := r.net.Now()
+	for cycle := 0; cycle < p.MaxCycles; cycle++ {
+		if p.Churn.Active(cycle) {
+			if err := r.applyChurn(); err != nil {
+				return nil, err
+			}
+		}
+		if p.Join.Count > 0 && cycle == p.Join.Cycle {
+			if err := r.applyJoin(p.Join.Count); err != nil {
+				return nil, err
+			}
+		}
+		r.net.Run(start + int64(cycle+1)*delta)
+		pt, err := r.measure(cycle)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+		joinPending := p.Join.Count > 0 && cycle < p.Join.Cycle
+		if pt.LeafMissing == 0 && pt.PrefixMissing == 0 && !joinPending {
+			if res.ConvergedAt < 0 {
+				res.ConvergedAt = cycle
+			}
+			if !p.KeepRunningAfterPerfect {
+				break
+			}
+		}
+	}
+	res.Stats = r.net.Stats()
+	return res, nil
+}
+
+// spawn creates a node: its sampling instance (live NEWSCAST or shared
+// oracle) and its bootstrap instance, attached with a random start offset
+// within one Δ, as the paper prescribes.
+func (r *runner) spawn(d peer.Descriptor, bootstrapStart int64) (*member, error) {
+	p := r.p
+	m := &member{desc: d, alive: true}
+	var svc sampling.Service
+	switch p.Sampler {
+	case SamplerNewscast:
+		// Seed the view with a few random contacts (the "bootstrap
+		// server" a joining node would contact in practice).
+		m.nc = newscast.New(d, r.oracle.Sample(5), newscast.DefaultViewSize)
+		if err := r.net.Attach(d.Addr, newscast.ProtoID, m.nc, p.Config.Delta, r.rng.Int63n(p.Config.Delta)); err != nil {
+			return nil, fmt.Errorf("attach newscast: %w", err)
+		}
+		svc = m.nc
+	default:
+		svc = r.oracle
+	}
+	boot, err := core.NewNode(d, p.Config, svc)
+	if err != nil {
+		return nil, err
+	}
+	m.boot = boot
+	offset := bootstrapStart + r.rng.Int63n(p.Config.Delta)
+	if err := r.net.Attach(d.Addr, core.ProtoID, boot, p.Config.Delta, offset); err != nil {
+		return nil, fmt.Errorf("attach bootstrap: %w", err)
+	}
+	r.byID[d.ID] = m
+	return m, nil
+}
+
+// applyChurn replaces Rate*N random live nodes with fresh ones.
+func (r *runner) applyChurn() error {
+	n := int(r.p.Churn.Rate * float64(r.p.N))
+	if n == 0 && r.p.Churn.Rate > 0 {
+		n = 1
+	}
+	alive := r.aliveMembers()
+	if n > len(alive) {
+		n = len(alive)
+	}
+	perm := r.rng.Perm(len(alive))
+	for i := 0; i < n; i++ {
+		victim := alive[perm[i]]
+		victim.alive = false
+		r.net.Kill(victim.desc.Addr)
+		r.oracle.Remove(victim.desc.ID)
+		delete(r.byID, victim.desc.ID)
+	}
+	for i := 0; i < n; i++ {
+		d := peer.Descriptor{ID: r.idGen.Next(), Addr: r.net.AddNode()}
+		r.oracle.Add(d)
+		m, err := r.spawn(d, 0)
+		if err != nil {
+			return err
+		}
+		r.members = append(r.members, m)
+	}
+	r.stale = true
+	return nil
+}
+
+// applyJoin starts count fresh nodes within the coming cycle — a massive
+// simultaneous join. New nodes appear in the sampling layer immediately
+// (the paper's NEWSCAST handles that in a handful of cycles even after
+// doubling; with the oracle it is instant).
+func (r *runner) applyJoin(count int) error {
+	for i := 0; i < count; i++ {
+		d := peer.Descriptor{ID: r.idGen.Next(), Addr: r.net.AddNode()}
+		r.oracle.Add(d)
+		m, err := r.spawn(d, 0)
+		if err != nil {
+			return err
+		}
+		r.members = append(r.members, m)
+	}
+	r.stale = true
+	return nil
+}
+
+func (r *runner) aliveMembers() []*member {
+	out := make([]*member, 0, len(r.members))
+	for _, m := range r.members {
+		if m.alive {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// measure computes the network-wide missing proportions against ground
+// truth for the current membership.
+func (r *runner) measure(cycle int) (Point, error) {
+	alive := r.aliveMembers()
+	if r.stale {
+		ids := make([]id.ID, len(alive))
+		for i, m := range alive {
+			ids[i] = m.desc.ID
+		}
+		tr, err := truth.New(ids, r.p.Config.B, r.p.Config.K, r.p.Config.C)
+		if err != nil {
+			return Point{}, err
+		}
+		r.tr = tr
+		r.stale = false
+	}
+	var leafMiss, leafTot, prefMiss, prefTot int
+	var leafPerfect, prefPerfect, leafDead, prefDead int
+	for _, m := range alive {
+		lm, lt := r.tr.LeafSetMissingFor(m.desc.ID, m.boot.Leaf())
+		pm, pt, pd := r.tr.PrefixMissingLive(m.desc.ID, m.boot.Table())
+		leafMiss += lm
+		leafTot += lt
+		prefMiss += pm
+		prefTot += pt
+		prefDead += pd
+		leafDead += r.tr.LeafSetDead(m.boot.Leaf())
+		if lm == 0 {
+			leafPerfect++
+		}
+		if pm == 0 {
+			prefPerfect++
+		}
+	}
+	st := r.net.Stats()
+	pt := Point{
+		Cycle:         cycle,
+		LeafPerfect:   leafPerfect,
+		PrefixPerfect: prefPerfect,
+		LeafDead:      leafDead,
+		PrefixDead:    prefDead,
+		Alive:         len(alive),
+		Sent:          st.Sent,
+		Dropped:       st.Dropped,
+		WireUnits:     st.WireUnits,
+	}
+	if leafTot > 0 {
+		pt.LeafMissing = float64(leafMiss) / float64(leafTot)
+	}
+	if prefTot > 0 {
+		pt.PrefixMissing = float64(prefMiss) / float64(prefTot)
+	}
+	return pt, nil
+}
+
+// WriteCSV emits the per-cycle series with a header, one row per cycle.
+func (res *Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "cycle,leaf_missing,prefix_missing,leaf_perfect_nodes,prefix_perfect_nodes,leaf_dead,prefix_dead,alive,sent,dropped,wire_units"); err != nil {
+		return err
+	}
+	for _, pt := range res.Points {
+		row := strconv.Itoa(pt.Cycle) + "," +
+			strconv.FormatFloat(pt.LeafMissing, 'e', 6, 64) + "," +
+			strconv.FormatFloat(pt.PrefixMissing, 'e', 6, 64) + "," +
+			strconv.Itoa(pt.LeafPerfect) + "," +
+			strconv.Itoa(pt.PrefixPerfect) + "," +
+			strconv.Itoa(pt.LeafDead) + "," +
+			strconv.Itoa(pt.PrefixDead) + "," +
+			strconv.Itoa(pt.Alive) + "," +
+			strconv.FormatInt(pt.Sent, 10) + "," +
+			strconv.FormatInt(pt.Dropped, 10) + "," +
+			strconv.FormatInt(pt.WireUnits, 10)
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Final returns the last measured point. It returns a zero Point for an
+// empty series.
+func (res *Result) Final() Point {
+	if len(res.Points) == 0 {
+		return Point{}
+	}
+	return res.Points[len(res.Points)-1]
+}

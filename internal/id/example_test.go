@@ -1,0 +1,42 @@
+package id_test
+
+import (
+	"fmt"
+
+	"repro/internal/id"
+)
+
+func ExampleID_Digit() {
+	v := id.ID(0xA3F0000000000000)
+	fmt.Println(v.Digit(0, 4), v.Digit(1, 4), v.Digit(2, 4))
+	// Output: 10 3 15
+}
+
+func ExampleCommonPrefixLen() {
+	a := id.ID(0xAB00000000000000)
+	b := id.ID(0xAC00000000000000)
+	fmt.Println(id.CommonPrefixLen(a, b, 4)) // share the digit 0xA
+	fmt.Println(id.CommonPrefixLen(a, a, 4)) // identical: all 16 digits
+	// Output:
+	// 1
+	// 16
+}
+
+func ExampleRingDistance() {
+	// The ring wraps: the distance between the ends of the ID space is 2.
+	fmt.Println(id.RingDistance(id.ID(1), id.ID(^uint64(0))))
+	fmt.Println(id.RingDistance(100, 140))
+	// Output:
+	// 2
+	// 40
+}
+
+func ExampleIsSuccessor() {
+	fmt.Println(id.IsSuccessor(100, 150))             // clockwise: successor
+	fmt.Println(id.IsSuccessor(100, 50))              // counter-clockwise
+	fmt.Println(id.IsSuccessor(id.ID(^uint64(0)), 3)) // wraps around zero
+	// Output:
+	// true
+	// false
+	// true
+}

@@ -1,0 +1,328 @@
+// Package livenet is a concurrent in-memory network runtime: one goroutine
+// per host drives the same protocol state machines that run under the
+// deterministic simulator, over a channel-based transport with optional
+// loss, latency, and bounded inboxes (UDP-like semantics). It demonstrates
+// that the protocol implementations are engine-agnostic and exercises them
+// under real concurrency; run the tests with -race.
+package livenet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/peer"
+	"repro/internal/proto"
+)
+
+// Config parameterises the runtime.
+type Config struct {
+	// Seed drives the loss and latency models and per-host RNGs.
+	Seed int64
+	// Drop is the per-message loss probability.
+	Drop float64
+	// MinLatency and MaxLatency bound the uniform delivery latency.
+	MinLatency, MaxLatency time.Duration
+	// InboxSize bounds each host's message queue; messages arriving at
+	// a full inbox are dropped, as UDP would. Zero selects 256.
+	InboxSize int
+}
+
+// Stats aggregates traffic counters. All fields are updated atomically.
+type Stats struct {
+	Sent      int64
+	Dropped   int64
+	Delivered int64
+	Overflow  int64
+}
+
+// Network is a concurrent in-memory network of hosts.
+type Network struct {
+	cfg    Config
+	mu     sync.Mutex
+	rng    *rand.Rand // guarded by mu: drop/latency decisions, host seeds
+	hosts  []*Host
+	wg     sync.WaitGroup
+	stop   chan struct{}
+	closed atomic.Bool
+	start  time.Time
+
+	sent, dropped, delivered, overflow atomic.Int64
+}
+
+// New returns a network ready for AddHost/Attach; call Start to run it.
+func New(cfg Config) *Network {
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = 256
+	}
+	if cfg.MaxLatency < cfg.MinLatency {
+		cfg.MaxLatency = cfg.MinLatency
+	}
+	return &Network{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		stop: make(chan struct{}),
+	}
+}
+
+type command struct {
+	// tick is non-nil for tick commands.
+	tick *binding
+	// from/pid/msg describe a delivery.
+	from peer.Addr
+	pid  proto.ProtoID
+	msg  proto.Message
+}
+
+type binding struct {
+	pid    proto.ProtoID
+	p      proto.Protocol
+	period time.Duration
+	offset time.Duration
+}
+
+// Host is one node: a mailbox plus the protocols attached to it. All
+// protocol callbacks run on the host's single goroutine.
+type Host struct {
+	net      *Network
+	addr     peer.Addr
+	inbox    chan command
+	rng      *rand.Rand
+	bindings []*binding
+	protos   map[proto.ProtoID]proto.Protocol
+	tickers  []*time.Ticker
+	timers   []*time.Timer
+	down     chan struct{}
+	downOnce sync.Once
+	exited   chan struct{}
+	started  atomic.Bool
+}
+
+// hostContext implements proto.Context for livenet callbacks; one per
+// binding so Send routes to the caller's own protocol on the peer.
+type hostContext struct {
+	h   *Host
+	pid proto.ProtoID
+}
+
+var _ proto.Context = hostContext{}
+
+func (c hostContext) Self() peer.Addr  { return c.h.addr }
+func (c hostContext) Now() int64       { return time.Since(c.h.net.start).Milliseconds() }
+func (c hostContext) Rand() *rand.Rand { return c.h.rng }
+func (c hostContext) Send(to peer.Addr, msg proto.Message) {
+	c.h.net.send(c.h.addr, to, c.pid, msg)
+}
+
+// AddHost allocates a host. All hosts must be added, and their protocols
+// attached, before Start.
+func (n *Network) AddHost() *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h := &Host{
+		net:    n,
+		addr:   peer.Addr(len(n.hosts)),
+		inbox:  make(chan command, n.cfg.InboxSize),
+		rng:    rand.New(rand.NewSource(n.rng.Int63())),
+		protos: make(map[proto.ProtoID]proto.Protocol, 2),
+		down:   make(chan struct{}),
+		exited: make(chan struct{}),
+	}
+	n.hosts = append(n.hosts, h)
+	return h
+}
+
+// Addr returns the host's address.
+func (h *Host) Addr() peer.Addr { return h.addr }
+
+// Stop crashes the host: its goroutine exits, its tickers stop, and
+// messages addressed to it are dropped. It waits for the host goroutine
+// to finish its current callback, so the host's protocol state may be
+// inspected safely afterwards. Safe to call multiple times.
+func (h *Host) Stop() {
+	h.downOnce.Do(func() { close(h.down) })
+	if h.started.Load() {
+		<-h.exited
+	}
+}
+
+// Stopped reports whether the host has been crashed.
+func (h *Host) Stopped() bool {
+	select {
+	case <-h.down:
+		return true
+	default:
+		return false
+	}
+}
+
+// Attach binds a protocol to the host. period zero installs a purely
+// reactive protocol. Must be called before Network.Start.
+func (h *Host) Attach(pid proto.ProtoID, p proto.Protocol, period, offset time.Duration) error {
+	if _, dup := h.protos[pid]; dup {
+		return fmt.Errorf("livenet attach: protocol %d already bound at host %d", pid, h.addr)
+	}
+	b := &binding{pid: pid, p: p, period: period, offset: offset}
+	h.protos[pid] = p
+	h.bindings = append(h.bindings, b)
+	return nil
+}
+
+// ErrClosed is returned by Start after Close.
+var ErrClosed = errors.New("livenet: network closed")
+
+// Start launches every host goroutine and begins ticking.
+func (n *Network) Start() error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	n.mu.Lock()
+	n.start = time.Now()
+	hosts := make([]*Host, len(n.hosts))
+	copy(hosts, n.hosts)
+	n.mu.Unlock()
+	for _, h := range hosts {
+		h.started.Store(true)
+		n.wg.Add(1)
+		go h.run()
+	}
+	return nil
+}
+
+// run is the host main loop: Init all protocols (after their offsets),
+// then serve ticks and deliveries until shutdown.
+func (h *Host) run() {
+	defer h.net.wg.Done()
+	defer close(h.exited)
+	// Stagger protocol starts without blocking the mailbox: offsets are
+	// armed as timers that enqueue an init-then-tick sequence.
+	inits := make(chan *binding, len(h.bindings))
+	for _, b := range h.bindings {
+		b := b
+		h.timers = append(h.timers, time.AfterFunc(b.offset, func() {
+			select {
+			case inits <- b:
+			case <-h.net.stop:
+			}
+		}))
+	}
+	defer func() {
+		for _, t := range h.timers {
+			t.Stop()
+		}
+		for _, t := range h.tickers {
+			t.Stop()
+		}
+	}()
+	for {
+		select {
+		case <-h.net.stop:
+			return
+		case <-h.down:
+			return
+		case b := <-inits:
+			b.p.Init(hostContext{h: h, pid: b.pid})
+			if b.period > 0 {
+				ticker := time.NewTicker(b.period)
+				h.tickers = append(h.tickers, ticker)
+				go h.forwardTicks(ticker, b)
+			}
+		case cmd := <-h.inbox:
+			h.dispatch(cmd)
+		}
+	}
+}
+
+func (h *Host) forwardTicks(t *time.Ticker, b *binding) {
+	for {
+		select {
+		case <-h.net.stop:
+			return
+		case <-t.C:
+			select {
+			case h.inbox <- command{tick: b}:
+			case <-h.net.stop:
+				return
+			default:
+				// Inbox full: skip the tick rather than stall.
+			}
+		}
+	}
+}
+
+func (h *Host) dispatch(cmd command) {
+	if cmd.tick != nil {
+		cmd.tick.p.Tick(hostContext{h: h, pid: cmd.tick.pid})
+		return
+	}
+	p, ok := h.protos[cmd.pid]
+	if !ok {
+		return
+	}
+	h.net.delivered.Add(1)
+	p.Handle(hostContext{h: h, pid: cmd.pid}, cmd.from, cmd.msg)
+}
+
+// send applies the loss and latency models and enqueues the delivery.
+func (n *Network) send(from, to peer.Addr, pid proto.ProtoID, msg proto.Message) {
+	n.sent.Add(1)
+	n.mu.Lock()
+	drop := n.cfg.Drop > 0 && n.rng.Float64() < n.cfg.Drop
+	var lat time.Duration
+	if !drop && n.cfg.MaxLatency > 0 {
+		span := int64(n.cfg.MaxLatency - n.cfg.MinLatency)
+		lat = n.cfg.MinLatency
+		if span > 0 {
+			lat += time.Duration(n.rng.Int63n(span + 1))
+		}
+	}
+	var dst *Host
+	if int(to) >= 0 && int(to) < len(n.hosts) {
+		dst = n.hosts[to]
+	}
+	n.mu.Unlock()
+
+	if drop || dst == nil {
+		n.dropped.Add(1)
+		return
+	}
+	deliver := func() {
+		if dst.Stopped() {
+			n.dropped.Add(1)
+			return
+		}
+		select {
+		case dst.inbox <- command{from: from, pid: pid, msg: msg}:
+		case <-n.stop:
+		default:
+			n.overflow.Add(1)
+		}
+	}
+	if lat <= 0 {
+		deliver()
+		return
+	}
+	time.AfterFunc(lat, deliver)
+}
+
+// Close stops all hosts and waits for them to exit. It is idempotent.
+func (n *Network) Close() {
+	if n.closed.Swap(true) {
+		return
+	}
+	close(n.stop)
+	n.wg.Wait()
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Sent:      n.sent.Load(),
+		Dropped:   n.dropped.Load(),
+		Delivered: n.delivered.Load(),
+		Overflow:  n.overflow.Load(),
+	}
+}

@@ -1,0 +1,195 @@
+// Package newscast implements the NEWSCAST gossip protocol, the
+// instantiation of the peer sampling service used by the paper (Section 3).
+//
+// Each node keeps a small view of node descriptors tagged with timestamps.
+// Periodically it picks a random member of its view and the two nodes
+// exchange views; each keeps the freshest entries of the merged views. The
+// protocol is cheap (one small message per node per interval), randomises
+// non-random initial views very quickly, and self-heals after catastrophic
+// failures, which is what makes it a suitable "liquid" bottom layer.
+package newscast
+
+import (
+	"sort"
+
+	"repro/internal/id"
+	"repro/internal/peer"
+	"repro/internal/proto"
+	"repro/internal/sampling"
+)
+
+// DefaultViewSize matches the implementations described by the paper:
+// messages carry approximately 30 descriptors.
+const DefaultViewSize = 30
+
+// entry is a view slot: a descriptor plus the virtual time at which the
+// descriptor was (re)injected by its owner.
+type entry struct {
+	desc peer.Descriptor
+	ts   int64
+}
+
+// Message is a NEWSCAST view exchange. Request messages ask the receiver to
+// answer with its own view; answers do not.
+type Message struct {
+	Entries []entry
+	Request bool
+}
+
+// WireSize reports the message size in descriptor units for traffic
+// accounting.
+func (m Message) WireSize() int { return len(m.Entries) }
+
+// Protocol is the NEWSCAST state machine for one node. It implements
+// proto.Protocol and sampling.Service: higher layers on the same node call
+// Sample locally, exactly as they would call into a co-located daemon.
+type Protocol struct {
+	self     peer.Descriptor
+	viewSize int
+	view     []entry
+
+	// lastCtx retains the node's deterministic RNG between callbacks so
+	// that Sample, which is invoked by co-located higher layers outside
+	// a callback, can stay deterministic.
+	rng interface{ Intn(int) int }
+}
+
+var (
+	_ proto.Protocol   = (*Protocol)(nil)
+	_ sampling.Service = (*Protocol)(nil)
+)
+
+// New returns a NEWSCAST instance for the node with the given descriptor.
+// bootstrapView seeds the initial view; it may be tiny, identical at all
+// nodes, or wildly non-random — the protocol randomises it within a few
+// cycles. viewSize <= 0 selects DefaultViewSize.
+func New(self peer.Descriptor, bootstrapView []peer.Descriptor, viewSize int) *Protocol {
+	if viewSize <= 0 {
+		viewSize = DefaultViewSize
+	}
+	p := &Protocol{self: self, viewSize: viewSize}
+	for _, d := range bootstrapView {
+		if d.ID == self.ID {
+			continue
+		}
+		p.view = append(p.view, entry{desc: d, ts: 0})
+	}
+	p.truncate()
+	return p
+}
+
+// Init captures the node RNG.
+func (p *Protocol) Init(ctx proto.Context) { p.rng = ctx.Rand() }
+
+// Tick runs one active NEWSCAST cycle: send the view (plus a fresh self
+// descriptor) to a random view member and merge the answer when it arrives.
+func (p *Protocol) Tick(ctx proto.Context) {
+	if len(p.view) == 0 {
+		return
+	}
+	target := p.view[ctx.Rand().Intn(len(p.view))].desc
+	ctx.Send(target.Addr, Message{Entries: p.outgoing(ctx.Now()), Request: true})
+}
+
+// Handle merges an incoming view and answers requests with the local view.
+func (p *Protocol) Handle(ctx proto.Context, from peer.Addr, msg proto.Message) {
+	m, ok := msg.(Message)
+	if !ok {
+		return
+	}
+	if m.Request {
+		ctx.Send(from, Message{Entries: p.outgoing(ctx.Now())})
+	}
+	p.merge(m.Entries)
+}
+
+// ProtoID is the simnet protocol identifier conventionally used for the
+// sampling layer.
+const ProtoID proto.ProtoID = 1
+
+// outgoing builds the view to send: the current view plus the node's own
+// descriptor stamped with the current time.
+func (p *Protocol) outgoing(now int64) []entry {
+	out := make([]entry, 0, len(p.view)+1)
+	out = append(out, entry{desc: p.self, ts: now})
+	out = append(out, p.view...)
+	return out
+}
+
+// merge folds received entries into the view, keeping for each ID the
+// freshest occurrence, dropping the self entry, and truncating to the
+// viewSize freshest descriptors.
+func (p *Protocol) merge(received []entry) {
+	best := make(map[id.ID]entry, len(p.view)+len(received))
+	for _, e := range p.view {
+		best[e.desc.ID] = e
+	}
+	for _, e := range received {
+		if e.desc.ID == p.self.ID {
+			continue
+		}
+		if cur, ok := best[e.desc.ID]; !ok || e.ts > cur.ts {
+			best[e.desc.ID] = e
+		}
+	}
+	p.view = p.view[:0]
+	for _, e := range best {
+		p.view = append(p.view, e)
+	}
+	p.truncate()
+}
+
+// truncate keeps the viewSize freshest entries, breaking timestamp ties by
+// ID for determinism.
+func (p *Protocol) truncate() {
+	sort.Slice(p.view, func(i, j int) bool {
+		if p.view[i].ts != p.view[j].ts {
+			return p.view[i].ts > p.view[j].ts
+		}
+		return p.view[i].desc.ID < p.view[j].desc.ID
+	})
+	if len(p.view) > p.viewSize {
+		p.view = p.view[:p.viewSize]
+	}
+}
+
+// Sample returns up to n distinct random descriptors from the current view.
+// It implements sampling.Service for co-located higher layers.
+func (p *Protocol) Sample(n int) []peer.Descriptor {
+	if n > len(p.view) {
+		n = len(p.view)
+	}
+	if n <= 0 {
+		return nil
+	}
+	idx := make([]int, len(p.view))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial Fisher-Yates: only the first n positions are needed.
+	for i := 0; i < n; i++ {
+		j := i
+		if p.rng != nil {
+			j = i + p.rng.Intn(len(idx)-i)
+		}
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	out := make([]peer.Descriptor, n)
+	for i := 0; i < n; i++ {
+		out[i] = p.view[idx[i]].desc
+	}
+	return out
+}
+
+// View returns a copy of the current view descriptors, freshest first.
+// Intended for tests and measurement code.
+func (p *Protocol) View() []peer.Descriptor {
+	out := make([]peer.Descriptor, len(p.view))
+	for i, e := range p.view {
+		out[i] = e.desc
+	}
+	return out
+}
+
+// ViewSize returns the configured view capacity.
+func (p *Protocol) ViewSize() int { return p.viewSize }

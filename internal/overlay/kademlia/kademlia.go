@@ -1,0 +1,181 @@
+// Package kademlia implements Kademlia-style XOR-metric lookups on top of
+// the structures produced by the bootstrapping service. A prefix table is
+// information-equivalent to Kademlia's k-buckets (row i holds peers whose
+// longest common prefix with the owner is exactly i digits, i.e. XOR
+// distance in a fixed band), so a bootstrapped network supports iterative
+// FindNode immediately.
+package kademlia
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/id"
+	"repro/internal/peer"
+)
+
+// DefaultAlpha is Kademlia's lookup concurrency parameter.
+const DefaultAlpha = 3
+
+// Node answers FindNode queries from its bootstrapped routing state.
+type Node struct {
+	self  peer.Descriptor
+	leaf  *core.LeafSet
+	table *core.PrefixTable
+	k     int
+}
+
+// FromBootstrap adopts a bootstrap node's structures; k is the result-set
+// size for FindNode (Kademlia's bucket size, here the table's per-slot
+// capacity unless overridden by WithK).
+func FromBootstrap(n *core.Node) *Node {
+	return &Node{
+		self:  n.Self(),
+		leaf:  n.Leaf(),
+		table: n.Table(),
+		k:     n.Config().K * 2,
+	}
+}
+
+// WithK overrides the FindNode result-set size.
+func (n *Node) WithK(k int) *Node {
+	n.k = k
+	return n
+}
+
+// Self returns the descriptor of the owning node.
+func (n *Node) Self() peer.Descriptor { return n.self }
+
+// known returns everything this node knows, deduplicated.
+func (n *Node) known() []peer.Descriptor {
+	set := peer.NewSet(n.leaf.Len() + n.table.Len() + 1)
+	set.Add(n.self)
+	set.AddAll(n.leaf.Slice())
+	set.AddAll(n.table.Entries())
+	return set.Copy()
+}
+
+// FindNode returns the k known descriptors closest to target in XOR
+// distance — Kademlia's RPC, answered from bootstrapped state.
+func (n *Node) FindNode(target id.ID) []peer.Descriptor {
+	all := n.known()
+	peer.SortByXORDistance(all, target)
+	if len(all) > n.k {
+		all = all[:n.k]
+	}
+	return all
+}
+
+// Mesh evaluates iterative lookups over a population of nodes.
+type Mesh struct {
+	nodes map[peer.Addr]*Node
+	alpha int
+	maxRT int // round-trip budget
+}
+
+// NewMesh builds a lookup evaluator. alpha <= 0 selects DefaultAlpha.
+func NewMesh(nodes []*Node, alpha int) *Mesh {
+	if alpha <= 0 {
+		alpha = DefaultAlpha
+	}
+	m := &Mesh{nodes: make(map[peer.Addr]*Node, len(nodes)), alpha: alpha, maxRT: 64}
+	for _, n := range nodes {
+		m.nodes[n.self.Addr] = n
+	}
+	return m
+}
+
+// ErrLookupFailed is returned when a lookup cannot make progress.
+var ErrLookupFailed = errors.New("kademlia: lookup failed")
+
+// LookupResult reports the outcome of an iterative lookup.
+type LookupResult struct {
+	// Closest is the best node found, XOR-closest first.
+	Closest []peer.Descriptor
+	// Queried is the number of FindNode RPCs issued.
+	Queried int
+	// Rounds is the number of strictly-improving iteration rounds.
+	Rounds int
+}
+
+// Lookup performs an iterative FindNode from the given start node: query
+// the alpha closest unqueried candidates, merge their answers, and stop
+// when the closest known node stops improving (standard Kademlia
+// convergence rule).
+func (m *Mesh) Lookup(start peer.Addr, target id.ID) (*LookupResult, error) {
+	origin, ok := m.nodes[start]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown start %d", ErrLookupFailed, start)
+	}
+	type candidate struct {
+		desc    peer.Descriptor
+		queried bool
+	}
+	shortlist := make(map[id.ID]*candidate)
+	add := func(ds []peer.Descriptor) {
+		for _, d := range ds {
+			if _, dup := shortlist[d.ID]; !dup {
+				shortlist[d.ID] = &candidate{desc: d}
+			}
+		}
+	}
+	add(origin.FindNode(target))
+	res := &LookupResult{}
+
+	sorted := func() []*candidate {
+		out := make([]*candidate, 0, len(shortlist))
+		for _, c := range shortlist {
+			out = append(out, c)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			return id.XORDistance(target, out[i].desc.ID) < id.XORDistance(target, out[j].desc.ID)
+		})
+		return out
+	}
+
+	var best id.ID
+	haveBest := false
+	for round := 0; round < m.maxRT; round++ {
+		cands := sorted()
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("%w: empty shortlist", ErrLookupFailed)
+		}
+		if haveBest && cands[0].desc.ID == best {
+			break // no improvement: converged
+		}
+		best, haveBest = cands[0].desc.ID, true
+		res.Rounds++
+		queriedAny := false
+		for _, c := range cands {
+			if c.queried {
+				continue
+			}
+			c.queried = true
+			node, ok := m.nodes[c.desc.Addr]
+			if !ok {
+				continue // dead or unknown peer: Kademlia just skips it
+			}
+			res.Queried++
+			add(node.FindNode(target))
+			queriedAny = true
+			if res.Queried%m.alpha == 0 {
+				break // end of this round's concurrent batch
+			}
+		}
+		if !queriedAny {
+			break // every candidate already queried
+		}
+	}
+	final := sorted()
+	k := origin.k
+	if len(final) > k {
+		final = final[:k]
+	}
+	res.Closest = make([]peer.Descriptor, len(final))
+	for i, c := range final {
+		res.Closest[i] = c.desc
+	}
+	return res, nil
+}

@@ -1,0 +1,180 @@
+package kademlia
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/id"
+	"repro/internal/peer"
+	"repro/internal/sampling"
+	"repro/internal/simnet"
+)
+
+// perfectNodes builds Kademlia nodes whose bootstrap structures were fed
+// the full membership.
+func perfectNodes(t testing.TB, n int, seed int64) ([]*Node, []peer.Descriptor) {
+	t.Helper()
+	ids := id.Unique(n, seed)
+	descs := make([]peer.Descriptor, n)
+	for i, v := range ids {
+		descs[i] = peer.Descriptor{ID: v, Addr: peer.Addr(i)}
+	}
+	cfg := core.DefaultConfig()
+	nodes := make([]*Node, n)
+	for i, d := range descs {
+		ls := core.NewLeafSet(d.ID, cfg.C)
+		ls.Update(descs)
+		pt := core.NewPrefixTable(d.ID, cfg.B, cfg.K)
+		pt.AddAll(descs)
+		nodes[i] = &Node{self: d, leaf: ls, table: pt, k: cfg.K * 2}
+	}
+	return nodes, descs
+}
+
+func xorClosest(descs []peer.Descriptor, key id.ID) peer.Descriptor {
+	best := descs[0]
+	for _, d := range descs[1:] {
+		if id.XORDistance(key, d.ID) < id.XORDistance(key, best.ID) {
+			best = d
+		}
+	}
+	return best
+}
+
+func TestFindNodeReturnsClosestKnown(t *testing.T) {
+	nodes, _ := perfectNodes(t, 100, 1)
+	n := nodes[0]
+	target := id.ID(0xDEADBEEF12345678)
+	got := n.FindNode(target)
+	if len(got) == 0 {
+		t.Fatal("empty FindNode result")
+	}
+	for i := 1; i < len(got); i++ {
+		if id.XORDistance(target, got[i-1].ID) > id.XORDistance(target, got[i].ID) {
+			t.Fatal("FindNode result not sorted by XOR distance")
+		}
+	}
+	// The first result must be at least as close as anything in the
+	// node's own structures.
+	bestKnown := got[0]
+	for _, d := range n.known() {
+		if id.XORDistance(target, d.ID) < id.XORDistance(target, bestKnown.ID) {
+			t.Fatalf("FindNode missed a closer known node %s", d)
+		}
+	}
+}
+
+func TestLookupFindsGlobalClosest(t *testing.T) {
+	const n = 300
+	nodes, descs := perfectNodes(t, n, 2)
+	mesh := NewMesh(nodes, 0)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		key := id.ID(rng.Uint64())
+		start := peer.Addr(rng.Intn(n))
+		res, err := mesh.Lookup(start, key)
+		if err != nil {
+			t.Fatalf("lookup %s: %v", key, err)
+		}
+		want := xorClosest(descs, key)
+		if len(res.Closest) == 0 || res.Closest[0].ID != want.ID {
+			t.Fatalf("lookup %s found %v, want %s", key, res.Closest[0], want)
+		}
+	}
+}
+
+func TestLookupSelf(t *testing.T) {
+	nodes, descs := perfectNodes(t, 50, 4)
+	mesh := NewMesh(nodes, 0)
+	res, err := mesh.Lookup(descs[7].Addr, descs[7].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Closest[0].ID != descs[7].ID {
+		t.Error("lookup of own ID must find self")
+	}
+}
+
+func TestLookupQueryBudgetLogarithmic(t *testing.T) {
+	const n = 400
+	nodes, _ := perfectNodes(t, n, 5)
+	mesh := NewMesh(nodes, 0)
+	rng := rand.New(rand.NewSource(6))
+	totalQueried := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		res, err := mesh.Lookup(peer.Addr(rng.Intn(n)), id.ID(rng.Uint64()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalQueried += res.Queried
+	}
+	if mean := float64(totalQueried) / trials; mean > 30 {
+		t.Errorf("mean queries per lookup %.1f, expected O(log N) ~ small", mean)
+	}
+}
+
+func TestLookupUnknownStart(t *testing.T) {
+	nodes, _ := perfectNodes(t, 20, 7)
+	mesh := NewMesh(nodes, 0)
+	if _, err := mesh.Lookup(peer.Addr(999), 1); err == nil {
+		t.Error("unknown start accepted")
+	}
+}
+
+func TestWithK(t *testing.T) {
+	nodes, _ := perfectNodes(t, 60, 8)
+	n := nodes[0].WithK(5)
+	if got := n.FindNode(0); len(got) != 5 {
+		t.Errorf("FindNode returned %d, want 5", len(got))
+	}
+}
+
+// TestLookupAfterRealBootstrap: run the actual bootstrap protocol, then
+// perform Kademlia lookups over the resulting tables.
+func TestLookupAfterRealBootstrap(t *testing.T) {
+	const n = 128
+	net := simnet.New(simnet.Config{Seed: 21})
+	ids := id.Unique(n, 22)
+	descs := make([]peer.Descriptor, n)
+	for i := range descs {
+		descs[i] = peer.Descriptor{ID: ids[i], Addr: net.AddNode()}
+	}
+	oracle := sampling.NewOracle(descs, 23)
+	cfg := core.DefaultConfig()
+	bnodes := make([]*core.Node, n)
+	for i, d := range descs {
+		nd, err := core.NewNode(d, cfg, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bnodes[i] = nd
+		if err := net.Attach(d.Addr, core.ProtoID, nd, cfg.Delta, int64(i)%cfg.Delta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Run(cfg.Delta * 30)
+
+	nodes := make([]*Node, n)
+	for i, bn := range bnodes {
+		nodes[i] = FromBootstrap(bn)
+	}
+	mesh := NewMesh(nodes, 0)
+	rng := rand.New(rand.NewSource(24))
+	miss := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		key := id.ID(rng.Uint64())
+		res, err := mesh.Lookup(descs[rng.Intn(n)].Addr, key)
+		if err != nil {
+			t.Fatalf("lookup: %v", err)
+		}
+		if res.Closest[0].ID != xorClosest(descs, key).ID {
+			miss++
+		}
+	}
+	if miss > trials/100 {
+		t.Errorf("%d/%d lookups missed the global closest node", miss, trials)
+	}
+}

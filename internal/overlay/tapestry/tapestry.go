@@ -1,0 +1,133 @@
+// Package tapestry implements Tapestry-style surrogate routing over the
+// structures produced by the bootstrapping service. Where Pastry falls
+// back to its leaf set, Tapestry resolves a missing prefix-table slot
+// deterministically: it tries the next higher digit value at the same
+// level (wrapping), a rule every node applies identically, so any key
+// maps to exactly one "surrogate root" using prefix tables alone.
+//
+// Including it alongside pastry and kademlia demonstrates the breadth of
+// the paper's claim: one bootstrap output feeds all prefix-based DHTs.
+package tapestry
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/id"
+	"repro/internal/peer"
+)
+
+// Router routes keys with surrogate resolution over one node's
+// bootstrapped state.
+type Router struct {
+	self  peer.Descriptor
+	table *core.PrefixTable
+	b     int
+}
+
+// FromBootstrap adopts a bootstrap node's prefix table.
+func FromBootstrap(n *core.Node) *Router {
+	return &Router{self: n.Self(), table: n.Table(), b: n.Config().B}
+}
+
+// New builds a router from an explicit table (used by tests).
+func New(self peer.Descriptor, table *core.PrefixTable, b int) *Router {
+	return &Router{self: self, table: table, b: b}
+}
+
+// Self returns the descriptor of the owning node.
+func (r *Router) Self() peer.Descriptor { return r.self }
+
+// NextHop advances the surrogate walk from the given level. Tapestry
+// routes level by level: at level l the node resolves digit l of the key,
+// taking the next higher filled slot (wrapping) when the exact one is
+// empty, and counting itself as the match when its own digit comes first
+// in that scan. The level strictly increases along a route, so walks
+// terminate in at most 64/b hops. done is true when this node is the
+// key's surrogate root.
+func (r *Router) NextHop(key id.ID, level int) (next peer.Descriptor, nextLevel int, done bool) {
+	cols := 1 << uint(r.b)
+	for l := level; l < id.NumDigits(r.b); l++ {
+		want := key.Digit(l, r.b)
+		own := r.self.ID.Digit(l, r.b)
+		advanced := false
+		for off := 0; off < cols; off++ {
+			col := (want + off) % cols
+			if col == own {
+				// We are the surrogate match at this level;
+				// resolve the next level locally.
+				advanced = true
+				break
+			}
+			if slot := r.table.Get(l, col); len(slot) > 0 {
+				return slot[0], l + 1, false
+			}
+		}
+		if !advanced {
+			// No slot and not our own digit anywhere: the row is
+			// empty, meaning no other node shares our l-digit
+			// prefix; we are the root.
+			return r.self, l, true
+		}
+	}
+	return r.self, id.NumDigits(r.b), true
+}
+
+// Mesh evaluates surrogate routing over a set of routers.
+type Mesh struct {
+	routers map[peer.Addr]*Router
+	maxHops int
+}
+
+// NewMesh builds an evaluator. maxHops <= 0 selects one hop per digit
+// level plus slack.
+func NewMesh(routers []*Router, maxHops int) *Mesh {
+	m := &Mesh{routers: make(map[peer.Addr]*Router, len(routers)), maxHops: maxHops}
+	for _, r := range routers {
+		m.routers[r.self.Addr] = r
+		if maxHops <= 0 {
+			m.maxHops = id.NumDigits(r.b) + 2
+		}
+	}
+	return m
+}
+
+// ErrRouteFailed is returned when a route exceeds the hop budget or visits
+// an unknown node.
+var ErrRouteFailed = errors.New("tapestry: route failed")
+
+// Route forwards key from start until a node declares itself the
+// surrogate root, returning the visited path.
+func (m *Mesh) Route(start peer.Addr, key id.ID) ([]peer.Addr, error) {
+	cur, ok := m.routers[start]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown start %d", ErrRouteFailed, start)
+	}
+	path := []peer.Addr{start}
+	level := 0
+	for hop := 0; hop < m.maxHops; hop++ {
+		next, nextLevel, done := cur.NextHop(key, level)
+		if done {
+			return path, nil
+		}
+		nr, ok := m.routers[next.Addr]
+		if !ok {
+			return path, fmt.Errorf("%w: hop to unknown node %s", ErrRouteFailed, next)
+		}
+		path = append(path, next.Addr)
+		cur = nr
+		level = nextLevel
+	}
+	return path, fmt.Errorf("%w: exceeded %d hops", ErrRouteFailed, m.maxHops)
+}
+
+// SurrogateRoot computes the key's root by walking from start; it is the
+// node the overlay assigns responsibility for the key to.
+func (m *Mesh) SurrogateRoot(start peer.Addr, key id.ID) (peer.Addr, error) {
+	path, err := m.Route(start, key)
+	if err != nil {
+		return peer.NoAddr, err
+	}
+	return path[len(path)-1], nil
+}

@@ -1,0 +1,155 @@
+package tapestry
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/id"
+	"repro/internal/peer"
+	"repro/internal/sampling"
+	"repro/internal/simnet"
+)
+
+func perfectRouters(t testing.TB, n int, seed int64) ([]*Router, []peer.Descriptor) {
+	t.Helper()
+	ids := id.Unique(n, seed)
+	descs := make([]peer.Descriptor, n)
+	for i, v := range ids {
+		descs[i] = peer.Descriptor{ID: v, Addr: peer.Addr(i)}
+	}
+	cfg := core.DefaultConfig()
+	routers := make([]*Router, n)
+	for i, d := range descs {
+		pt := core.NewPrefixTable(d.ID, cfg.B, cfg.K)
+		pt.AddAll(descs)
+		routers[i] = New(d, pt, cfg.B)
+	}
+	return routers, descs
+}
+
+// TestRootConsistency is the key property of surrogate routing: every
+// start node maps a key to the same surrogate root, using prefix tables
+// alone (no leaf sets).
+func TestRootConsistency(t *testing.T) {
+	const n = 300
+	routers, descs := perfectRouters(t, n, 1)
+	mesh := NewMesh(routers, 0)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		key := id.ID(rng.Uint64())
+		root0, err := mesh.SurrogateRoot(descs[0].Addr, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 10; probe++ {
+			start := descs[rng.Intn(n)].Addr
+			root, err := mesh.SurrogateRoot(start, key)
+			if err != nil {
+				t.Fatalf("route from %d: %v", start, err)
+			}
+			if root != root0 {
+				t.Fatalf("key %s: root %d from %d, but %d from node 0", key, root, start, root0)
+			}
+		}
+	}
+}
+
+func TestRouteToMemberEndsThere(t *testing.T) {
+	const n = 200
+	routers, descs := perfectRouters(t, n, 3)
+	mesh := NewMesh(routers, 0)
+	for i := 0; i < 50; i++ {
+		target := descs[(i*11)%n]
+		root, err := mesh.SurrogateRoot(descs[i].Addr, target.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if root != target.Addr {
+			t.Fatalf("lookup of member %s rooted at %d", target, root)
+		}
+	}
+}
+
+func TestHopsBounded(t *testing.T) {
+	const n = 400
+	routers, descs := perfectRouters(t, n, 5)
+	mesh := NewMesh(routers, 0)
+	rng := rand.New(rand.NewSource(6))
+	total := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		path, err := mesh.Route(descs[rng.Intn(n)].Addr, id.ID(rng.Uint64()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(path) - 1
+	}
+	if mean := float64(total) / trials; mean > 4 {
+		t.Errorf("mean hops %.2f too high for n=%d", mean, n)
+	}
+}
+
+func TestLoneNode(t *testing.T) {
+	d := peer.Descriptor{ID: 7, Addr: 0}
+	cfg := core.DefaultConfig()
+	r := New(d, core.NewPrefixTable(d.ID, cfg.B, cfg.K), cfg.B)
+	next, _, done := r.NextHop(id.ID(12345), 0)
+	if !done || next.ID != 7 {
+		t.Error("a lone node must root every key")
+	}
+}
+
+func TestMeshErrors(t *testing.T) {
+	routers, _ := perfectRouters(t, 10, 7)
+	mesh := NewMesh(routers, 0)
+	if _, err := mesh.Route(peer.Addr(999), 1); err == nil {
+		t.Error("unknown start accepted")
+	}
+}
+
+// TestAfterRealBootstrap: surrogate roots are consistent over tables built
+// by the actual protocol.
+func TestAfterRealBootstrap(t *testing.T) {
+	const n = 128
+	net := simnet.New(simnet.Config{Seed: 9})
+	ids := id.Unique(n, 10)
+	descs := make([]peer.Descriptor, n)
+	for i := range descs {
+		descs[i] = peer.Descriptor{ID: ids[i], Addr: net.AddNode()}
+	}
+	oracle := sampling.NewOracle(descs, 11)
+	cfg := core.DefaultConfig()
+	routers := make([]*Router, n)
+	nodes := make([]*core.Node, n)
+	for i, d := range descs {
+		nd, err := core.NewNode(d, cfg, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+		if err := net.Attach(d.Addr, core.ProtoID, nd, cfg.Delta, int64(i)%cfg.Delta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Run(cfg.Delta * 30)
+	for i, nd := range nodes {
+		routers[i] = FromBootstrap(nd)
+	}
+	mesh := NewMesh(routers, 0)
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		key := id.ID(rng.Uint64())
+		root0, err := mesh.SurrogateRoot(descs[0].Addr, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root1, err := mesh.SurrogateRoot(descs[n/2].Addr, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if root0 != root1 {
+			t.Fatalf("inconsistent surrogate roots for %s: %d vs %d", key, root0, root1)
+		}
+	}
+}

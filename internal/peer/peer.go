@@ -1,0 +1,155 @@
+// Package peer defines node descriptors — the (ID, address) pairs exchanged
+// by every gossip protocol in this repository — and small utilities for
+// working with descriptor sets.
+package peer
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/id"
+)
+
+// Addr identifies a node endpoint. In the simulated networks an address is a
+// dense index assigned by the network at registration time; in a real
+// deployment it would be an IP:port.
+type Addr int32
+
+// NoAddr is the sentinel for absent endpoints. Note that the zero value of
+// Addr is a real address; use None for an absent descriptor.
+const NoAddr Addr = -1
+
+// None is the absent descriptor. The zero Descriptor value is NOT absent —
+// it refers to address 0 — so code needing "no peer" must use None.
+var None = Descriptor{Addr: NoAddr}
+
+// Descriptor is the unit of gossip: a node's identifier together with the
+// address where it can be reached.
+type Descriptor struct {
+	ID   id.ID
+	Addr Addr
+}
+
+// Nil reports whether the descriptor is absent (no endpoint).
+func (d Descriptor) Nil() bool { return d.Addr == NoAddr }
+
+// String formats the descriptor for logs and test failures.
+func (d Descriptor) String() string {
+	return fmt.Sprintf("%s@%d", d.ID, d.Addr)
+}
+
+// Set is an order-preserving collection of descriptors with O(1)
+// deduplication by ID. The zero value is not ready to use; call NewSet.
+type Set struct {
+	list  []Descriptor
+	index map[id.ID]int
+}
+
+// NewSet returns an empty Set with capacity for n descriptors.
+func NewSet(n int) *Set {
+	return &Set{
+		list:  make([]Descriptor, 0, n),
+		index: make(map[id.ID]int, n),
+	}
+}
+
+// Add inserts d unless a descriptor with the same ID is already present.
+// It reports whether the descriptor was inserted.
+func (s *Set) Add(d Descriptor) bool {
+	if _, dup := s.index[d.ID]; dup {
+		return false
+	}
+	s.index[d.ID] = len(s.list)
+	s.list = append(s.list, d)
+	return true
+}
+
+// AddAll inserts every descriptor of ds, skipping duplicates.
+func (s *Set) AddAll(ds []Descriptor) {
+	for _, d := range ds {
+		s.Add(d)
+	}
+}
+
+// Contains reports whether a descriptor with the given ID is present.
+func (s *Set) Contains(nodeID id.ID) bool {
+	_, ok := s.index[nodeID]
+	return ok
+}
+
+// Remove deletes the descriptor with the given ID, if present.
+func (s *Set) Remove(nodeID id.ID) {
+	i, ok := s.index[nodeID]
+	if !ok {
+		return
+	}
+	last := len(s.list) - 1
+	s.list[i] = s.list[last]
+	s.index[s.list[i].ID] = i
+	s.list = s.list[:last]
+	delete(s.index, nodeID)
+	if i == last {
+		return
+	}
+}
+
+// Len returns the number of descriptors in the set.
+func (s *Set) Len() int { return len(s.list) }
+
+// Slice returns the descriptors in insertion order (modulo removals). The
+// returned slice is the set's backing storage; callers must not modify it.
+func (s *Set) Slice() []Descriptor { return s.list }
+
+// Copy returns a fresh slice with the set's contents.
+func (s *Set) Copy() []Descriptor {
+	out := make([]Descriptor, len(s.list))
+	copy(out, s.list)
+	return out
+}
+
+// SortByRingDistance orders ds in place by ring distance from the pivot,
+// closest first. Ties are broken by ID so the order is deterministic.
+func SortByRingDistance(ds []Descriptor, pivot id.ID) {
+	sort.Slice(ds, func(i, j int) bool {
+		c := id.CompareRing(pivot, ds[i].ID, ds[j].ID)
+		if c != 0 {
+			return c < 0
+		}
+		return ds[i].ID < ds[j].ID
+	})
+}
+
+// SortByXORDistance orders ds in place by XOR distance from the pivot,
+// closest first.
+func SortByXORDistance(ds []Descriptor, pivot id.ID) {
+	sort.Slice(ds, func(i, j int) bool {
+		return id.XORDistance(pivot, ds[i].ID) < id.XORDistance(pivot, ds[j].ID)
+	})
+}
+
+// Dedup returns ds with duplicate IDs removed, keeping first occurrences.
+// The input slice is not modified.
+func Dedup(ds []Descriptor) []Descriptor {
+	seen := make(map[id.ID]struct{}, len(ds))
+	out := make([]Descriptor, 0, len(ds))
+	for _, d := range ds {
+		if _, dup := seen[d.ID]; dup {
+			continue
+		}
+		seen[d.ID] = struct{}{}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Without returns ds with any descriptor matching nodeID removed. The input
+// slice is not modified.
+func Without(ds []Descriptor, nodeID id.ID) []Descriptor {
+	out := make([]Descriptor, 0, len(ds))
+	for _, d := range ds {
+		if d.ID != nodeID {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+// Package sampling defines the peer sampling service abstraction — the
+// bottom layer of the paper's architecture (Section 3) — together with an
+// oracle implementation backed by global knowledge.
+//
+// The bootstrapping service only ever consumes this interface, so it can run
+// over the gossip-based NEWSCAST implementation (package newscast) or, for
+// isolating layers in experiments and tests, over the oracle.
+package sampling
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/id"
+	"repro/internal/peer"
+)
+
+// Service provides random peer addresses from the set of participating
+// nodes. Implementations must be safe for use from the node that owns them;
+// the Oracle is additionally safe for concurrent use.
+type Service interface {
+	// Sample returns up to n distinct random peer descriptors. Fewer than
+	// n are returned only when the service does not know n peers.
+	Sample(n int) []peer.Descriptor
+}
+
+// Oracle is a Service drawing uniform samples from a globally known
+// membership list. It models a perfectly converged sampling layer, which is
+// the paper's operating assumption for the bootstrap experiments ("we are
+// given a network where the sampling service is already functional").
+type Oracle struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	members []peer.Descriptor
+	pos     map[id.ID]int
+}
+
+var _ Service = (*Oracle)(nil)
+
+// NewOracle returns an Oracle over the given membership, seeded
+// deterministically.
+func NewOracle(members []peer.Descriptor, seed int64) *Oracle {
+	o := &Oracle{
+		rng: rand.New(rand.NewSource(seed)),
+		pos: make(map[id.ID]int, len(members)),
+	}
+	o.members = make([]peer.Descriptor, len(members))
+	copy(o.members, members)
+	for i, m := range o.members {
+		o.pos[m.ID] = i
+	}
+	return o
+}
+
+// Sample returns up to n distinct uniformly random members.
+func (o *Oracle) Sample(n int) []peer.Descriptor {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if n > len(o.members) {
+		n = len(o.members)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]peer.Descriptor, 0, n)
+	// Partial Fisher-Yates over a scratch index space. For the small n
+	// used by the protocols (cr <= 100) relative to membership size,
+	// rejection sampling is cheaper and allocation-free.
+	seen := make(map[int]struct{}, n)
+	for len(out) < n {
+		i := o.rng.Intn(len(o.members))
+		if _, dup := seen[i]; dup {
+			continue
+		}
+		seen[i] = struct{}{}
+		out = append(out, o.members[i])
+	}
+	return out
+}
+
+// Add inserts a member (idempotent by ID). Used by churn models.
+func (o *Oracle) Add(d peer.Descriptor) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, dup := o.pos[d.ID]; dup {
+		return
+	}
+	o.pos[d.ID] = len(o.members)
+	o.members = append(o.members, d)
+}
+
+// Remove deletes a member by ID, if present. Used by churn models.
+func (o *Oracle) Remove(nodeID id.ID) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	i, ok := o.pos[nodeID]
+	if !ok {
+		return
+	}
+	last := len(o.members) - 1
+	o.members[i] = o.members[last]
+	o.pos[o.members[i].ID] = i
+	o.members = o.members[:last]
+	delete(o.pos, nodeID)
+}
+
+// Len returns the current membership size.
+func (o *Oracle) Len() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.members)
+}
+
+// Fixed is a Service returning a static list, useful in unit tests.
+type Fixed []peer.Descriptor
+
+var _ Service = Fixed(nil)
+
+// Sample returns the first n descriptors of the fixed list.
+func (f Fixed) Sample(n int) []peer.Descriptor {
+	if n > len(f) {
+		n = len(f)
+	}
+	out := make([]peer.Descriptor, n)
+	copy(out, f[:n])
+	return out
+}

@@ -1,0 +1,356 @@
+// Package simnet provides a deterministic discrete-event network simulator,
+// the substrate this repository uses in place of the paper's PeerSim. It
+// models virtual time, per-message latency, uniform message drop (the
+// paper's unreliable-UDP failure model), and node churn, and it drives
+// protocol state machines attached to simulated nodes.
+//
+// Determinism: all randomness flows from the Config seed, and the event
+// queue breaks time ties by insertion sequence, so a run is a pure function
+// of its configuration.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/peer"
+	"repro/internal/proto"
+)
+
+// Message, Sizer, ProtoID and Protocol are the engine-neutral contract
+// defined in package proto; the aliases keep engine call sites readable.
+type (
+	// Message is a protocol payload delivered between nodes.
+	Message = proto.Message
+	// Sizer reports a message's wire size for traffic accounting.
+	Sizer = proto.Sizer
+	// ProtoID distinguishes the protocol stacks running on one node.
+	ProtoID = proto.ProtoID
+	// Protocol is a passive state machine driven by the engine.
+	Protocol = proto.Protocol
+)
+
+// Config parameterises a simulated network.
+type Config struct {
+	// Seed drives all randomness in the network. Two networks with equal
+	// configs and equal workloads produce identical runs.
+	Seed int64
+	// Drop is the probability that any single message is lost in
+	// transit. The paper's Figure 4 uses 0.2.
+	Drop float64
+	// MinLatency and MaxLatency bound the uniform message latency in
+	// virtual time units. Zero values mean instant delivery (latency 1,
+	// so a message never arrives at its send instant).
+	MinLatency, MaxLatency int64
+}
+
+type eventKind uint8
+
+const (
+	evTick eventKind = iota + 1
+	evMessage
+	evFunc
+)
+
+type event struct {
+	time int64
+	seq  uint64
+	kind eventKind
+
+	to   peer.Addr
+	pid  ProtoID
+	from peer.Addr
+	msg  Message
+
+	fn func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+type binding struct {
+	proto  Protocol
+	period int64
+	ctx    Context
+}
+
+type nodeState struct {
+	alive  bool
+	protos map[ProtoID]*binding
+	rng    *rand.Rand
+}
+
+// Stats aggregates network traffic counters.
+type Stats struct {
+	Sent      int64 // messages handed to the network
+	Dropped   int64 // messages lost by the drop model
+	Delivered int64 // messages that reached a live destination
+	DeadDest  int64 // messages addressed to dead or unknown nodes
+	WireUnits int64 // cumulative size of sent messages (descriptor units)
+}
+
+// Network is a deterministic discrete-event simulated network.
+type Network struct {
+	cfg       Config
+	rng       *rand.Rand
+	now       int64
+	seq       uint64
+	queue     eventQueue
+	nodes     []*nodeState
+	stats     Stats
+	linkFault func(from, to peer.Addr) bool
+}
+
+// New returns an empty network with the given configuration.
+func New(cfg Config) *Network {
+	if cfg.MaxLatency < cfg.MinLatency {
+		cfg.MaxLatency = cfg.MinLatency
+	}
+	return &Network{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() int64 { return n.now }
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// AddNode allocates a new live node and returns its address.
+func (n *Network) AddNode() peer.Addr {
+	addr := peer.Addr(len(n.nodes))
+	st := &nodeState{
+		alive:  true,
+		protos: make(map[ProtoID]*binding, 2),
+		rng:    rand.New(rand.NewSource(n.rng.Int63())),
+	}
+	n.nodes = append(n.nodes, st)
+	return addr
+}
+
+// NumNodes returns the number of addresses ever allocated (live or dead).
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// Alive reports whether the node at addr is live.
+func (n *Network) Alive(addr peer.Addr) bool {
+	return n.valid(addr) && n.nodes[addr].alive
+}
+
+// Kill marks the node dead: pending and future events addressed to it are
+// discarded. Messages it already sent remain in flight.
+func (n *Network) Kill(addr peer.Addr) {
+	if n.valid(addr) {
+		n.nodes[addr].alive = false
+	}
+}
+
+// Attach binds a protocol instance to a node. The protocol's Init runs at
+// startOffset, and Tick fires every period after that. Attaching with period
+// zero installs a purely reactive protocol (Handle only, after Init).
+func (n *Network) Attach(addr peer.Addr, pid ProtoID, p Protocol, period, startOffset int64) error {
+	if !n.valid(addr) {
+		return fmt.Errorf("attach: unknown address %d", addr)
+	}
+	st := n.nodes[addr]
+	if _, dup := st.protos[pid]; dup {
+		return fmt.Errorf("attach: protocol %d already bound at address %d", pid, addr)
+	}
+	b := &binding{proto: p, period: period}
+	b.ctx = Context{net: n, self: addr, node: st, pid: pid}
+	st.protos[pid] = b
+	start := n.now + startOffset
+	n.push(&event{time: start, kind: evFunc, fn: func() {
+		if !st.alive {
+			return
+		}
+		p.Init(&b.ctx)
+		if period > 0 {
+			n.push(&event{time: start + period, kind: evTick, to: addr, pid: pid})
+		}
+	}})
+	return nil
+}
+
+// At schedules fn to run at the given absolute virtual time. Times in the
+// past run at the current instant, after already-queued events.
+func (n *Network) At(t int64, fn func()) {
+	if t < n.now {
+		t = n.now
+	}
+	n.push(&event{time: t, kind: evFunc, fn: fn})
+}
+
+// SetLinkFault installs a per-link fault predicate: messages for which fn
+// returns true are dropped (and counted as drops). Pass nil to clear. Used
+// to model network partitions and asymmetric link failures.
+func (n *Network) SetLinkFault(fn func(from, to peer.Addr) bool) {
+	n.linkFault = fn
+}
+
+// Partition installs a link fault that cuts traffic between nodes in
+// different groups. Nodes absent from every group stay connected to
+// everyone.
+func (n *Network) Partition(groups ...[]peer.Addr) {
+	assignment := make(map[peer.Addr]int)
+	for g, members := range groups {
+		for _, a := range members {
+			assignment[a] = g
+		}
+	}
+	n.SetLinkFault(func(from, to peer.Addr) bool {
+		gf, okf := assignment[from]
+		gt, okt := assignment[to]
+		return okf && okt && gf != gt
+	})
+}
+
+// Send transmits msg from one node to another, applying the latency and
+// drop models. It is normally called through a Context.
+func (n *Network) Send(from, to peer.Addr, pid ProtoID, msg Message) {
+	n.stats.Sent++
+	if s, ok := msg.(Sizer); ok {
+		n.stats.WireUnits += int64(s.WireSize())
+	}
+	if n.linkFault != nil && n.linkFault(from, to) {
+		n.stats.Dropped++
+		return
+	}
+	if n.cfg.Drop > 0 && n.rng.Float64() < n.cfg.Drop {
+		n.stats.Dropped++
+		return
+	}
+	n.push(&event{
+		time: n.now + n.latency(),
+		kind: evMessage,
+		to:   to, pid: pid, from: from, msg: msg,
+	})
+}
+
+// Run processes events until virtual time reaches until (inclusive) or the
+// queue drains. It returns the number of events processed.
+func (n *Network) Run(until int64) int {
+	processed := 0
+	for len(n.queue) > 0 && n.queue[0].time <= until {
+		e := heap.Pop(&n.queue).(*event)
+		n.now = e.time
+		n.dispatch(e)
+		processed++
+	}
+	if n.now < until {
+		n.now = until
+	}
+	return processed
+}
+
+// RunUntil advances the network in steps of checkEvery until cond returns
+// true or virtual time exceeds max. It reports whether cond was satisfied.
+func (n *Network) RunUntil(cond func() bool, checkEvery, max int64) bool {
+	for n.now < max {
+		next := n.now + checkEvery
+		if next > max {
+			next = max
+		}
+		n.Run(next)
+		if cond() {
+			return true
+		}
+	}
+	return cond()
+}
+
+func (n *Network) dispatch(e *event) {
+	switch e.kind {
+	case evFunc:
+		e.fn()
+	case evTick:
+		st := n.nodes[e.to]
+		if !st.alive {
+			return
+		}
+		b, ok := st.protos[e.pid]
+		if !ok {
+			return
+		}
+		b.proto.Tick(&b.ctx)
+		n.push(&event{time: e.time + b.period, kind: evTick, to: e.to, pid: e.pid})
+	case evMessage:
+		if !n.valid(e.to) || !n.nodes[e.to].alive {
+			n.stats.DeadDest++
+			return
+		}
+		st := n.nodes[e.to]
+		b, ok := st.protos[e.pid]
+		if !ok {
+			n.stats.DeadDest++
+			return
+		}
+		n.stats.Delivered++
+		b.proto.Handle(&b.ctx, e.from, e.msg)
+	}
+}
+
+func (n *Network) latency() int64 {
+	if n.cfg.MaxLatency <= 0 {
+		return 1
+	}
+	if n.cfg.MaxLatency == n.cfg.MinLatency {
+		return n.cfg.MinLatency
+	}
+	return n.cfg.MinLatency + n.rng.Int63n(n.cfg.MaxLatency-n.cfg.MinLatency+1)
+}
+
+func (n *Network) push(e *event) {
+	e.seq = n.seq
+	n.seq++
+	heap.Push(&n.queue, e)
+}
+
+func (n *Network) valid(addr peer.Addr) bool {
+	return addr >= 0 && int(addr) < len(n.nodes)
+}
+
+// Context is the simulator's implementation of proto.Context: the node's
+// own address, the virtual clock, a per-node deterministic RNG, and the
+// ability to send messages.
+type Context struct {
+	net  *Network
+	self peer.Addr
+	node *nodeState
+	pid  ProtoID
+}
+
+var _ proto.Context = (*Context)(nil)
+
+// Self returns the node's own address.
+func (c *Context) Self() peer.Addr { return c.self }
+
+// Now returns the current virtual time.
+func (c *Context) Now() int64 { return c.net.now }
+
+// Rand returns the node's private deterministic random source.
+func (c *Context) Rand() *rand.Rand { return c.node.rng }
+
+// Send transmits msg to the same protocol binding on the destination node.
+func (c *Context) Send(to peer.Addr, msg Message) {
+	c.net.Send(c.self, to, c.pid, msg)
+}

@@ -1,0 +1,328 @@
+// Package truth computes ground-truth routing state — perfect leaf sets and
+// perfect prefix-table occupancy for the actual set of participating IDs —
+// and measures how far protocol state is from it. These are exactly the
+// "proportion of missing leaf set entries" and "proportion of missing
+// prefix table entries" metrics plotted in the paper's Figures 3 and 4.
+//
+// Perfect prefix-table occupancy is derived from a lazily expanded
+// radix-2^b trie with subtree counts, so a full-network measurement costs
+// O(N · rows · 2^b) instead of O(N^2).
+package truth
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/id"
+	"repro/internal/peer"
+)
+
+// Truth is a ground-truth oracle for a fixed membership set.
+type Truth struct {
+	b, k, c int
+	sorted  []id.ID
+	pos     map[id.ID]int
+	root    *trieNode
+}
+
+// New builds the oracle for the given membership and protocol parameters
+// (b bits per digit, k entries per slot, leaf set size c).
+func New(ids []id.ID, b, k, c int) (*Truth, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("truth: empty membership")
+	}
+	t := &Truth{
+		b:      b,
+		k:      k,
+		c:      c,
+		sorted: make([]id.ID, len(ids)),
+		pos:    make(map[id.ID]int, len(ids)),
+		root:   &trieNode{},
+	}
+	copy(t.sorted, ids)
+	sort.Slice(t.sorted, func(i, j int) bool { return t.sorted[i] < t.sorted[j] })
+	for i := 1; i < len(t.sorted); i++ {
+		if t.sorted[i] == t.sorted[i-1] {
+			return nil, fmt.Errorf("truth: duplicate id %s", t.sorted[i])
+		}
+	}
+	for i, v := range t.sorted {
+		t.pos[v] = i
+	}
+	for _, v := range ids {
+		t.root.insert(v, 0, b)
+	}
+	return t, nil
+}
+
+// N returns the membership size.
+func (t *Truth) N() int { return len(t.sorted) }
+
+// trieNode is a lazily expanded radix-2^b trie node with subtree counts.
+// While count == 1 the node stays unexpanded and remembers its sole ID.
+type trieNode struct {
+	count    int
+	children []*trieNode
+	sole     id.ID
+}
+
+func (n *trieNode) insert(v id.ID, depth, b int) {
+	n.count++
+	if n.count == 1 {
+		n.sole = v
+		return
+	}
+	if depth == id.NumDigits(b) {
+		return // full depth; unique IDs never reach here twice
+	}
+	if n.children == nil {
+		n.children = make([]*trieNode, 1<<uint(b))
+		// Push the previously sole occupant one level down.
+		d := n.sole.Digit(depth, b)
+		n.children[d] = &trieNode{}
+		n.children[d].insert(n.sole, depth+1, b)
+	}
+	d := v.Digit(depth, b)
+	if n.children[d] == nil {
+		n.children[d] = &trieNode{}
+	}
+	n.children[d].insert(v, depth+1, b)
+}
+
+// childCount returns the number of IDs below child digit d, resolving
+// unexpanded single-occupant nodes.
+func (n *trieNode) childCount(d, depth, b int) int {
+	if n.children == nil {
+		// Unexpanded: n.count <= 1. The sole occupant counts if its
+		// digit matches.
+		if n.count == 1 && n.sole.Digit(depth, b) == d {
+			return 1
+		}
+		return 0
+	}
+	if n.children[d] == nil {
+		return 0
+	}
+	return n.children[d].count
+}
+
+// PerfectLeafSet returns the IDs a perfect leaf set for self must contain,
+// applying the paper's selection rule (c/2 closest successors and
+// predecessors, topped up from the other direction) to the full membership.
+func (t *Truth) PerfectLeafSet(self id.ID) []id.ID {
+	p, ok := t.pos[self]
+	if !ok {
+		return nil
+	}
+	n := len(t.sorted)
+	others := n - 1
+	if others <= 0 {
+		return nil
+	}
+	// Candidates: up to c ring-neighbours in each direction. The final
+	// set is always a subset of these.
+	limit := t.c
+	if limit > others {
+		limit = others
+	}
+	succ := make([]id.ID, 0, limit)
+	pred := make([]id.ID, 0, limit)
+	for i := 1; i <= limit; i++ {
+		succ = append(succ, t.sorted[(p+i)%n])
+		pred = append(pred, t.sorted[(p-i+n)%n])
+	}
+	// Classify by ring half exactly as the protocol does. Clockwise
+	// neighbours beyond the antipode are really predecessors and vice
+	// versa; at practical sizes this never triggers, but small networks
+	// need it for exactness.
+	var realSucc, realPred []id.ID
+	seen := make(map[id.ID]struct{}, 2*limit)
+	for _, v := range succ {
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		if id.IsSuccessor(self, v) {
+			realSucc = append(realSucc, v)
+		} else {
+			realPred = append(realPred, v)
+		}
+	}
+	for _, v := range pred {
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		if id.IsSuccessor(self, v) {
+			realSucc = append(realSucc, v)
+		} else {
+			realPred = append(realPred, v)
+		}
+	}
+	sort.Slice(realSucc, func(i, j int) bool {
+		return id.Succ(self, realSucc[i]) < id.Succ(self, realSucc[j])
+	})
+	sort.Slice(realPred, func(i, j int) bool {
+		return id.Pred(self, realPred[i]) < id.Pred(self, realPred[j])
+	})
+	half := t.c / 2
+	nSucc := minInt(len(realSucc), half)
+	nPred := minInt(len(realPred), half)
+	if spare := t.c - nSucc - nPred; spare > 0 {
+		nSucc = minInt(len(realSucc), nSucc+spare)
+	}
+	if spare := t.c - nSucc - nPred; spare > 0 {
+		nPred = minInt(len(realPred), nPred+spare)
+	}
+	out := make([]id.ID, 0, nSucc+nPred)
+	out = append(out, realSucc[:nSucc]...)
+	out = append(out, realPred[:nPred]...)
+	return out
+}
+
+// LeafSetMissingFor returns how many entries of the perfect leaf set for
+// self are absent from ls, and the perfect total.
+func (t *Truth) LeafSetMissingFor(self id.ID, ls *core.LeafSet) (missing, total int) {
+	perfect := t.PerfectLeafSet(self)
+	for _, v := range perfect {
+		if !ls.Contains(v) {
+			missing++
+		}
+	}
+	return missing, len(perfect)
+}
+
+// ExpectedSlotCounts returns, for each (row, col) of self's prefix table,
+// the perfect occupancy min(k, available), where available is the number of
+// member IDs whose slot relative to self is (row, col). Rows beyond the
+// point where self is alone in its prefix subtree are all-zero and omitted.
+func (t *Truth) ExpectedSlotCounts(self id.ID) [][]int {
+	cols := 1 << uint(t.b)
+	var out [][]int
+	node := t.root
+	for depth := 0; depth < id.NumDigits(t.b); depth++ {
+		if node == nil || node.count <= 1 {
+			break
+		}
+		row := make([]int, cols)
+		own := self.Digit(depth, t.b)
+		for j := 0; j < cols; j++ {
+			if j == own {
+				continue
+			}
+			avail := node.childCount(j, depth, t.b)
+			if avail > t.k {
+				avail = t.k
+			}
+			row[j] = avail
+		}
+		out = append(out, row)
+		if node.children == nil {
+			break
+		}
+		node = node.children[own]
+	}
+	return out
+}
+
+// PrefixMissingFor returns how many perfect prefix-table entries are absent
+// from pt (per-slot shortfall against ExpectedSlotCounts) and the perfect
+// total. Entries beyond a slot's expectation never compensate for another
+// slot's shortfall.
+func (t *Truth) PrefixMissingFor(self id.ID, pt *core.PrefixTable) (missing, total int) {
+	expected := t.ExpectedSlotCounts(self)
+	actual := pt.SlotCounts()
+	for i, row := range expected {
+		for j, want := range row {
+			if want == 0 {
+				continue
+			}
+			total += want
+			have := 0
+			if i < len(actual) && actual[i] != nil {
+				have = actual[i][j]
+			}
+			if have < want {
+				missing += want - have
+			}
+		}
+	}
+	return missing, total
+}
+
+// PrefixMissingLive is PrefixMissingFor with liveness awareness: only
+// entries that are current members count toward a slot's occupancy, so
+// descriptors of departed nodes do not mask real gaps. In a failure-free
+// run it agrees with PrefixMissingFor exactly.
+func (t *Truth) PrefixMissingLive(self id.ID, pt *core.PrefixTable) (missing, total, dead int) {
+	expected := t.ExpectedSlotCounts(self)
+	live := make(map[int]map[int]int, len(expected))
+	pt.Each(func(row, col int, d peer.Descriptor) bool {
+		if _, ok := t.pos[d.ID]; ok {
+			if live[row] == nil {
+				live[row] = make(map[int]int)
+			}
+			live[row][col]++
+		} else {
+			dead++
+		}
+		return true
+	})
+	for i, row := range expected {
+		for j, want := range row {
+			if want == 0 {
+				continue
+			}
+			total += want
+			have := live[i][j]
+			if have < want {
+				missing += want - have
+			}
+		}
+	}
+	return missing, total, dead
+}
+
+// LeafSetDead counts entries of ls that are not current members.
+func (t *Truth) LeafSetDead(ls *core.LeafSet) int {
+	dead := 0
+	for _, d := range ls.Slice() {
+		if _, ok := t.pos[d.ID]; !ok {
+			dead++
+		}
+	}
+	return dead
+}
+
+// Contains reports whether nodeID is a current member.
+func (t *Truth) Contains(nodeID id.ID) bool {
+	_, ok := t.pos[nodeID]
+	return ok
+}
+
+// AvailableAt returns the exact number of member IDs whose slot relative to
+// self is (row, col), uncapped by k. self must be a member. Used by tests
+// to cross-check the trie.
+func (t *Truth) AvailableAt(self id.ID, row, col int) int {
+	node := t.root
+	for depth := 0; depth < row; depth++ {
+		if node == nil || node.children == nil {
+			// self is a member, so an unexpanded node on self's
+			// path holds exactly self; nothing else lies below.
+			return 0
+		}
+		node = node.children[self.Digit(depth, t.b)]
+	}
+	if node == nil || col == self.Digit(row, t.b) {
+		return 0
+	}
+	return node.childCount(col, row, t.b)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
