@@ -25,6 +25,7 @@ import (
 	"repro/internal/overlay/pastry"
 	"repro/internal/overlay/tapestry"
 	"repro/internal/peer"
+	"repro/internal/proto"
 	"repro/internal/sampling"
 	"repro/internal/simnet"
 	"repro/internal/truth"
@@ -339,9 +340,69 @@ func BenchmarkCreateMessageViaTick(b *testing.B) {
 	}
 	nd.Leaf().Update(descs[1:100])
 	nd.Table().AddAll(descs)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.Run(net.Now() + cfg.Delta)
+	}
+}
+
+// BenchmarkEventLoop measures the raw simnet event loop — tick dispatch,
+// message enqueue, pop, deliver — with a trivial protocol, isolating the
+// event-queue cost from protocol work. The allocs/op figure is the pooled
+// queue's reason to exist: steady state should allocate nothing per event
+// beyond the message value itself.
+func BenchmarkEventLoop(b *testing.B) {
+	const nodes = 256
+	net := simnet.New(simnet.Config{Seed: 23, MinLatency: 1, MaxLatency: 5})
+	addrs := make([]peer.Addr, nodes)
+	for i := range addrs {
+		addrs[i] = net.AddNode()
+	}
+	for i, a := range addrs {
+		p := &pingProto{target: addrs[(i+1)%nodes]}
+		if err := net.Attach(a, 1, p, 10, int64(i%10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	net.Run(100) // warm: queue and pool reach steady-state size
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Run(net.Now() + 10)
+	}
+}
+
+// pingProto sends one empty message per tick to a fixed neighbour.
+type pingProto struct{ target peer.Addr }
+
+type emptyMsg struct{}
+
+func (p *pingProto) Init(ctx proto.Context) {}
+func (p *pingProto) Tick(ctx proto.Context) { ctx.Send(p.target, emptyMsg{}) }
+func (p *pingProto) Handle(ctx proto.Context, from peer.Addr, msg proto.Message) {}
+
+// BenchmarkRunTrials measures the multi-trial experiment runner at
+// increasing worker counts over a fixed seed set, recording the parallel
+// speedup of independent-seed campaigns.
+func BenchmarkRunTrials(b *testing.B) {
+	seeds := experiment.Seeds(42, 8)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunTrials(experiment.Params{
+					N:         512,
+					Config:    core.DefaultConfig(),
+					MaxCycles: 40,
+				}, seeds, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.ConvergedTrials() != len(seeds) {
+					b.Fatal("trial failed to converge")
+				}
+			}
+		})
 	}
 }
 

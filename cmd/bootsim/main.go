@@ -42,6 +42,8 @@ type options struct {
 	sampler    experiment.SamplerKind
 	warmup     int
 	runs       int
+	trials     int
+	workers    int
 	cfg        core.Config
 }
 
@@ -57,6 +59,8 @@ func parseArgs(args []string) (*options, error) {
 		sampler = fs.String("sampler", "oracle", "oracle|newscast")
 		warmup  = fs.Int("warmup", 10, "newscast warmup cycles before bootstrap starts")
 		runs    = fs.Int("runs", 1, "independent repetitions per size")
+		trials  = fs.Int("trials", 1, "independent seeds aggregated per size (mean/min/max series)")
+		workers = fs.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 		b       = fs.Int("b", core.DefaultB, "bits per digit")
 		k       = fs.Int("k", core.DefaultK, "entries per prefix-table slot")
 		c       = fs.Int("c", core.DefaultC, "leaf set size")
@@ -72,6 +76,8 @@ func parseArgs(args []string) (*options, error) {
 		seed:       *seed,
 		warmup:     *warmup,
 		runs:       *runs,
+		trials:     *trials,
+		workers:    *workers,
 		cfg: core.Config{
 			B: *b, K: *k, C: *c, CR: *cr, Delta: core.DefaultDelta,
 		},
@@ -93,6 +99,20 @@ func parseArgs(args []string) (*options, error) {
 	}
 	if o.runs < 1 {
 		return nil, fmt.Errorf("-runs must be at least 1, got %d", o.runs)
+	}
+	if o.trials < 1 {
+		return nil, fmt.Errorf("-trials must be at least 1, got %d", o.trials)
+	}
+	if o.workers < 0 {
+		return nil, fmt.Errorf("-workers must not be negative, got %d", o.workers)
+	}
+	if o.trials > 1 {
+		if o.experiment != "fig3" && o.experiment != "fig4" {
+			return nil, fmt.Errorf("-trials aggregation is only supported for fig3 and fig4, not %q", o.experiment)
+		}
+		if o.runs > 1 {
+			return nil, fmt.Errorf("-runs and -trials are mutually exclusive (-runs prints raw per-seed series, -trials aggregates them)")
+		}
 	}
 	return o, nil
 }
@@ -142,6 +162,9 @@ func runConvergence(o *options, out io.Writer, drop float64, label string) error
 	if drop > 0 {
 		def = 60
 	}
+	if o.trials > 1 {
+		return runConvergenceTrials(o, out, drop, def)
+	}
 	for _, n := range o.sizes {
 		for rep := 0; rep < o.runs; rep++ {
 			res, err := experiment.Run(experiment.Params{
@@ -161,6 +184,32 @@ func runConvergence(o *options, out io.Writer, drop float64, label string) error
 			if err := res.WriteCSV(out); err != nil {
 				return err
 			}
+		}
+	}
+	return nil
+}
+
+// runConvergenceTrials is the multi-trial variant of runConvergence: per
+// size it fans o.trials independent seeds across o.workers workers and
+// prints the aggregated (mean/min/max) per-cycle convergence series. The
+// output is a pure function of the seeds, independent of the worker count.
+func runConvergenceTrials(o *options, out io.Writer, drop float64, defCycles int) error {
+	for _, n := range o.sizes {
+		res, err := experiment.RunTrials(experiment.Params{
+			N:            n,
+			Config:       o.cfg,
+			Drop:         drop,
+			MaxCycles:    o.maxCycles(defCycles),
+			Sampler:      o.sampler,
+			WarmupCycles: o.warmup,
+		}, experiment.Seeds(o.seed, o.trials), o.workers)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "# n=%d trials=%d converged_trials=%d\n",
+			n, o.trials, res.ConvergedTrials())
+		if err := res.WriteCSV(out); err != nil {
+			return err
 		}
 	}
 	return nil

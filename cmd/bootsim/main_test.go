@@ -23,10 +23,37 @@ func TestParseArgsErrors(t *testing.T) {
 		{"-n", "abc"},
 		{"-sampler", "bogus"},
 		{"-runs", "0"},
+		{"-trials", "0"},
+		{"-workers", "-1"},
+		{"-experiment", "scaling", "-trials", "4"},
+		{"-experiment", "fig3", "-trials", "2", "-runs", "2"},
 	}
 	for _, args := range cases {
 		if _, err := parseArgs(args); err == nil {
 			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestTrialsOutputIndependentOfWorkers is the CLI half of the RunTrials
+// determinism guarantee: the aggregated CSV for -trials T is byte-identical
+// for any -workers value.
+func TestTrialsOutputIndependentOfWorkers(t *testing.T) {
+	render := func(workers string) string {
+		var sb strings.Builder
+		err := run([]string{"-experiment", "fig3", "-n", "128", "-trials", "3", "-workers", workers}, &sb)
+		if err != nil {
+			t.Fatalf("workers=%s: %v", workers, err)
+		}
+		return sb.String()
+	}
+	base := render("1")
+	if !strings.Contains(base, "trials=3") || !strings.Contains(base, "leaf_missing_mean") {
+		t.Fatalf("missing aggregate output:\n%s", base)
+	}
+	for _, w := range []string{"2", "4"} {
+		if got := render(w); got != base {
+			t.Errorf("workers=%s output differs from workers=1", w)
 		}
 	}
 }

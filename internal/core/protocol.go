@@ -18,6 +18,12 @@ const ProtoID proto.ProtoID = 2
 // set of node descriptors optimised for the receiver, carrying the sender's
 // own descriptor so the receiver can answer. Request messages ask for an
 // answer built the same way.
+//
+// Ownership: a Message is owned by its receiver. Senders must not retain or
+// mutate Entries/Dead after handing the message to an engine; conversely a
+// receiver may read but must not rewrite the slices in place, because an
+// engine that fans one message out to several receivers (broadcast,
+// livenet) shares the backing arrays between deliveries.
 type Message struct {
 	Sender  peer.Descriptor
 	Entries []peer.Descriptor
@@ -58,6 +64,13 @@ type Node struct {
 	misses   map[id.ID]int
 	tombs    map[id.ID]int64
 	ticks    int64
+
+	// scratchUnion and scratchSel are reused across createMessage calls so
+	// steady-state message construction allocates only the entries slice it
+	// ships. Safe because each node's callbacks run serialised (simnet is
+	// single-threaded; livenet drives each host from one dispatch loop).
+	scratchUnion *peer.Set
+	scratchSel   []peer.Descriptor
 }
 
 // tombstoneTTL is how many ticks an evicted peer stays blacklisted. A
@@ -192,20 +205,30 @@ func (n *Node) noteMissedAnswer() {
 }
 
 // filterTombstoned drops descriptors currently blacklisted, expiring
-// tombstones lazily.
+// tombstones lazily. It copies on first removal rather than compacting the
+// incoming slice in place: even though receivers own their messages (see
+// Message), an engine that broadcasts one message value to several
+// receivers shares the Entries backing array between them, and an in-place
+// rewrite here would corrupt the siblings' view mid-filter.
 func (n *Node) filterTombstoned(ds []peer.Descriptor) []peer.Descriptor {
 	if len(n.tombs) == 0 {
 		return ds
 	}
-	out := ds[:0:len(ds)]
-	for _, d := range ds {
-		if expiry, dead := n.tombs[d.ID]; dead {
-			if n.ticks < expiry {
-				continue
-			}
+	out, forked := ds, false
+	for i, d := range ds {
+		expiry, dead := n.tombs[d.ID]
+		if dead && n.ticks >= expiry {
 			delete(n.tombs, d.ID)
+			dead = false
 		}
-		out = append(out, d)
+		switch {
+		case dead && !forked: // first removal: fork, keep the prefix
+			out = make([]peer.Descriptor, i, len(ds)-1)
+			copy(out, ds[:i])
+			forked = true
+		case !dead && forked:
+			out = append(out, d)
+		}
 	}
 	return out
 }
@@ -297,7 +320,12 @@ func (n *Node) selectPeer(rng *rand.Rand) peer.Descriptor {
 // matches the paper's stated bound (the size of the full prefix table,
 // "usually smaller in practice" — the union is far smaller than 768).
 func (n *Node) createMessage(q peer.Descriptor, request bool) Message {
-	union := peer.NewSet(n.cfg.C + n.cfg.CR + n.table.Len() + 1)
+	if n.scratchUnion == nil {
+		n.scratchUnion = peer.NewSet(n.cfg.C + n.cfg.CR + n.table.Len() + 1)
+	} else {
+		n.scratchUnion.Reset()
+	}
+	union := n.scratchUnion
 	union.Add(n.self)
 	union.AddAll(n.leaf.Slice())
 	if n.cfg.CR > 0 {
@@ -308,16 +336,21 @@ func (n *Node) createMessage(q peer.Descriptor, request bool) Message {
 	}
 	union.Remove(q.ID) // never ship the destination its own descriptor
 
-	all := union.Copy()
-	peer.SortByRingDistance(all, q.ID)
-
-	nBase := min(n.cfg.C, len(all))
+	nBase := min(n.cfg.C, union.Len())
 	nExtra := 0
 	if !n.cfg.DisablePrefixFeedback {
-		nExtra = min(len(all)-nBase, n.cfg.TableCapacity())
+		nExtra = min(union.Len()-nBase, n.cfg.TableCapacity())
 	}
-	entries := make([]peer.Descriptor, nBase+nExtra)
-	copy(entries, all[:nBase+nExtra])
+	// Partial selection: only the nBase+nExtra entries actually shipped are
+	// selected and sorted, O(u log(c+extra)) instead of fully sorting the
+	// whole union per message.
+	n.scratchSel = append(n.scratchSel[:0], union.Slice()...)
+	closest := peer.SelectNClosest(n.scratchSel, q.ID, nBase+nExtra)
+
+	// The shipped slice is freshly allocated: messages are owned by their
+	// receiver (see Message), so scratch must never escape.
+	entries := make([]peer.Descriptor, len(closest))
+	copy(entries, closest)
 	m := Message{Sender: n.self, Entries: entries, Request: request}
 	if n.cfg.EvictAfterMisses > 0 {
 		m.Dead = n.certificates()

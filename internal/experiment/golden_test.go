@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// TestGoldenTrace pins full runs to golden outcomes captured on the
+// pre-rewrite event queue (container/heap over *event) and the pre-rewrite
+// createMessage (full sort per message). A run is a pure function of its
+// seed, so any change to event ordering, RNG consumption order, or message
+// construction shows up here as a changed counter. Update the constants
+// only for a change that intentionally alters the trace, and say so in the
+// commit message.
+func TestGoldenTrace(t *testing.T) {
+	cases := []struct {
+		name      string
+		n         int
+		drop      float64
+		converged int
+		points    int
+		stats     simnet.Stats
+	}{
+		{
+			name: "n256", n: 256, drop: 0,
+			converged: 6, points: 7,
+			stats: simnet.Stats{Sent: 3094, Dropped: 0, Delivered: 3035, DeadDest: 0, WireUnits: 256737},
+		},
+		{
+			name: "n256drop", n: 256, drop: 0.2,
+			converged: 8, points: 9,
+			stats: simnet.Stats{Sent: 3677, Dropped: 764, Delivered: 2872, DeadDest: 0, WireUnits: 303933},
+		},
+		{
+			name: "n1024", n: 1024, drop: 0,
+			converged: 9, points: 10,
+			stats: simnet.Stats{Sent: 18523, Dropped: 0, Delivered: 18328, DeadDest: 0, WireUnits: 2059732},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(Params{
+				N:         tc.n,
+				Seed:      42,
+				Config:    core.DefaultConfig(),
+				Drop:      tc.drop,
+				MaxCycles: 80,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ConvergedAt != tc.converged {
+				t.Errorf("ConvergedAt = %d, want %d", res.ConvergedAt, tc.converged)
+			}
+			if len(res.Points) != tc.points {
+				t.Errorf("len(Points) = %d, want %d", len(res.Points), tc.points)
+			}
+			if res.Stats != tc.stats {
+				t.Errorf("Stats = %+v, want %+v", res.Stats, tc.stats)
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package peer
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/id"
+)
+
+// TestSelectNClosestMatchesFullSort is the equivalence property the
+// createMessage rewrite depends on: partial selection must return exactly
+// the prefix a full ring-distance sort would.
+func TestSelectNClosestMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		u := 1 + rng.Intn(200)
+		ds := make([]Descriptor, 0, u)
+		seen := make(map[id.ID]bool, u)
+		for len(ds) < u {
+			v := id.ID(rng.Uint64())
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			ds = append(ds, Descriptor{ID: v, Addr: Addr(len(ds))})
+		}
+		pivot := id.ID(rng.Uint64())
+		n := rng.Intn(u + 10)
+
+		want := make([]Descriptor, u)
+		copy(want, ds)
+		SortByRingDistance(want, pivot)
+		if n < u {
+			want = want[:n]
+		}
+
+		work := make([]Descriptor, u)
+		copy(work, ds)
+		got := SelectNClosest(work, pivot, n)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (u=%d n=%d pivot=%v): selection diverged from full sort\ngot  %v\nwant %v",
+				trial, u, n, pivot, got, want)
+		}
+	}
+}
+
+func TestSelectNClosestEdges(t *testing.T) {
+	ds := []Descriptor{{ID: 5, Addr: 1}, {ID: 9, Addr: 2}}
+	if got := SelectNClosest(ds, 0, 0); len(got) != 0 {
+		t.Errorf("n=0 returned %v", got)
+	}
+	if got := SelectNClosest(ds, 0, -3); len(got) != 0 {
+		t.Errorf("n<0 returned %v", got)
+	}
+	if got := SelectNClosest(nil, 0, 4); len(got) != 0 {
+		t.Errorf("empty input returned %v", got)
+	}
+	got := SelectNClosest(ds, 4, 10)
+	if len(got) != 2 || got[0].ID != 5 {
+		t.Errorf("n>len = %v, want full sorted slice", got)
+	}
+}
+
+func TestSetReset(t *testing.T) {
+	s := NewSet(4)
+	s.AddAll([]Descriptor{d(1), d(2), d(3)})
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("len after reset = %d", s.Len())
+	}
+	if s.Contains(1) {
+		t.Error("reset set still contains old ID")
+	}
+	if !s.Add(d(2)) {
+		t.Error("add after reset rejected")
+	}
+	if s.Len() != 1 || !s.Contains(2) {
+		t.Error("set unusable after reset")
+	}
+}

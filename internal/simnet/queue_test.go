@@ -1,0 +1,92 @@
+package simnet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestEventQueueOrdering feeds the pooled heap a shuffled workload and
+// checks pops come out in (time, seq) order — the exact contract the old
+// container/heap implementation provided.
+func TestEventQueueOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var q eventQueue
+	const total = 2000
+	events := make([]event, total)
+	for i := range events {
+		events[i] = event{time: int64(rng.Intn(50)), seq: uint64(i), kind: evTick}
+	}
+	for _, e := range events {
+		q.push(e)
+	}
+	want := make([]event, total)
+	copy(want, events)
+	sort.SliceStable(want, func(i, j int) bool {
+		if want[i].time != want[j].time {
+			return want[i].time < want[j].time
+		}
+		return want[i].seq < want[j].seq
+	})
+	for i := range want {
+		got := q.pop()
+		if got.time != want[i].time || got.seq != want[i].seq {
+			t.Fatalf("pop %d = (t=%d seq=%d), want (t=%d seq=%d)",
+				i, got.time, got.seq, want[i].time, want[i].seq)
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.len())
+	}
+}
+
+// TestEventQueuePoolRecycling checks that a drain-and-refill workload
+// recycles pool slots through the free list instead of growing the pool —
+// the allocation the rewrite exists to eliminate.
+func TestEventQueuePoolRecycling(t *testing.T) {
+	var q eventQueue
+	const width = 64
+	for i := 0; i < width; i++ {
+		q.push(event{time: int64(i), seq: uint64(i)})
+	}
+	highWater := len(q.pool)
+	seq := uint64(width)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < width; i++ {
+			e := q.pop()
+			q.push(event{time: e.time + width, seq: seq})
+			seq++
+		}
+	}
+	if len(q.pool) > highWater {
+		t.Errorf("pool grew from %d to %d under steady-state load", highWater, len(q.pool))
+	}
+}
+
+// TestRunProcessedCountDeterministic runs the same configuration twice and
+// compares Stats and the per-Run processed event counts — the regression
+// guard the event-queue rewrite must keep satisfying.
+func TestRunProcessedCountDeterministic(t *testing.T) {
+	run := func() ([]int, Stats) {
+		n := New(Config{Seed: 7, Drop: 0.25, MinLatency: 1, MaxLatency: 11})
+		a, b, c := n.AddNode(), n.AddNode(), n.AddNode()
+		_ = n.Attach(a, 1, &echoProto{pingOn: b}, 3, 0)
+		_ = n.Attach(b, 1, &echoProto{pingOn: c}, 4, 1)
+		_ = n.Attach(c, 1, &echoProto{pingOn: a}, 5, 2)
+		var counts []int
+		for step := int64(100); step <= 1000; step += 100 {
+			counts = append(counts, n.Run(step))
+		}
+		return counts, n.Stats()
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats diverged: %+v vs %+v", s1, s2)
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("processed counts diverged at step %d: %d vs %d", i, c1[i], c2[i])
+		}
+	}
+}

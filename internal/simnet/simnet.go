@@ -10,7 +10,6 @@
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -64,26 +63,6 @@ type event struct {
 	msg  Message
 
 	fn func()
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
 }
 
 type binding struct {
@@ -179,13 +158,13 @@ func (n *Network) Attach(addr peer.Addr, pid ProtoID, p Protocol, period, startO
 	b.ctx = Context{net: n, self: addr, node: st, pid: pid}
 	st.protos[pid] = b
 	start := n.now + startOffset
-	n.push(&event{time: start, kind: evFunc, fn: func() {
+	n.push(event{time: start, kind: evFunc, fn: func() {
 		if !st.alive {
 			return
 		}
 		p.Init(&b.ctx)
 		if period > 0 {
-			n.push(&event{time: start + period, kind: evTick, to: addr, pid: pid})
+			n.push(event{time: start + period, kind: evTick, to: addr, pid: pid})
 		}
 	}})
 	return nil
@@ -197,7 +176,7 @@ func (n *Network) At(t int64, fn func()) {
 	if t < n.now {
 		t = n.now
 	}
-	n.push(&event{time: t, kind: evFunc, fn: fn})
+	n.push(event{time: t, kind: evFunc, fn: fn})
 }
 
 // SetLinkFault installs a per-link fault predicate: messages for which fn
@@ -239,7 +218,7 @@ func (n *Network) Send(from, to peer.Addr, pid ProtoID, msg Message) {
 		n.stats.Dropped++
 		return
 	}
-	n.push(&event{
+	n.push(event{
 		time: n.now + n.latency(),
 		kind: evMessage,
 		to:   to, pid: pid, from: from, msg: msg,
@@ -250,8 +229,8 @@ func (n *Network) Send(from, to peer.Addr, pid ProtoID, msg Message) {
 // queue drains. It returns the number of events processed.
 func (n *Network) Run(until int64) int {
 	processed := 0
-	for len(n.queue) > 0 && n.queue[0].time <= until {
-		e := heap.Pop(&n.queue).(*event)
+	for n.queue.len() > 0 && n.queue.peekTime() <= until {
+		e := n.queue.pop()
 		n.now = e.time
 		n.dispatch(e)
 		processed++
@@ -278,7 +257,7 @@ func (n *Network) RunUntil(cond func() bool, checkEvery, max int64) bool {
 	return cond()
 }
 
-func (n *Network) dispatch(e *event) {
+func (n *Network) dispatch(e event) {
 	switch e.kind {
 	case evFunc:
 		e.fn()
@@ -292,7 +271,7 @@ func (n *Network) dispatch(e *event) {
 			return
 		}
 		b.proto.Tick(&b.ctx)
-		n.push(&event{time: e.time + b.period, kind: evTick, to: e.to, pid: e.pid})
+		n.push(event{time: e.time + b.period, kind: evTick, to: e.to, pid: e.pid})
 	case evMessage:
 		if !n.valid(e.to) || !n.nodes[e.to].alive {
 			n.stats.DeadDest++
@@ -319,10 +298,10 @@ func (n *Network) latency() int64 {
 	return n.cfg.MinLatency + n.rng.Int63n(n.cfg.MaxLatency-n.cfg.MinLatency+1)
 }
 
-func (n *Network) push(e *event) {
+func (n *Network) push(e event) {
 	e.seq = n.seq
 	n.seq++
-	heap.Push(&n.queue, e)
+	n.queue.push(e)
 }
 
 func (n *Network) valid(addr peer.Addr) bool {
