@@ -1,0 +1,155 @@
+// Command livesim runs multi-trial campaigns of the bootstrapping service
+// on the concurrent goroutine runtime (one goroutine per host, wall-clock
+// cycles, real nondeterministic scheduling) under injected churn and
+// failure scenarios. It is the livenet counterpart of bootsim -trials:
+// where bootsim aggregates deterministic simulations, livesim validates
+// the same protocol under true parallel dispatch.
+//
+// Usage:
+//
+//	livesim [flags]
+//
+//	-n int          network size (hosts) (default 1024)
+//	-trials int     independent trials, each with its own seed (default 4)
+//	-workers int    concurrent trials; 0 = GOMAXPROCS (default 0)
+//	-scenario name  none|churn|partition|drop|latency (default "churn")
+//	-drop float     initial per-message loss probability (default 0)
+//	-latency dur    max delivery latency; min is latency/4 (default 0)
+//	-period dur     gossip period Δ; 0 scales with -n (default 0)
+//	-cycles int     campaign length in periods (default 30)
+//	-seed int       base seed; trial i uses seed+i*7919 (default 42)
+//	-inbox int      per-host inbox bound; 0 = engine default (default 0)
+//
+// Examples:
+//
+//	livesim -n 256 -trials 4 -scenario none          # quick sanity run
+//	livesim -n 10000 -trials 8 -workers 4 -scenario churn
+//	livesim -n 1024 -trials 8 -scenario partition -drop 0.05 -latency 4ms
+//
+// Output: a comment header per campaign (scenario, fault plan of trial 0,
+// per-trial summaries), then the aggregate per-cycle CSV series — mean,
+// min and max of the missing-entry proportions across trials plus the
+// fraction of trials converged by each cycle, the same format bootsim
+// -trials emits, so the two engines' campaigns plot side by side.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/livenet"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "livesim:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	n        int
+	trials   int
+	workers  int
+	scenario livenet.Scenario
+	drop     float64
+	latency  time.Duration
+	period   time.Duration
+	cycles   int
+	seed     int64
+	inbox    int
+}
+
+func parseArgs(args []string) (*options, error) {
+	fs := flag.NewFlagSet("livesim", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 1024, "network size (hosts)")
+		trials   = fs.Int("trials", 4, "independent trials")
+		workers  = fs.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
+		scenario = fs.String("scenario", "churn", "none|churn|partition|drop|latency")
+		drop     = fs.Float64("drop", 0, "initial per-message loss probability")
+		latency  = fs.Duration("latency", 0, "max delivery latency (min is latency/4)")
+		period   = fs.Duration("period", 0, "gossip period (0 scales with -n)")
+		cycles   = fs.Int("cycles", 30, "campaign length in periods")
+		seed     = fs.Int64("seed", 42, "base seed")
+		inbox    = fs.Int("inbox", 0, "per-host inbox bound (0 = engine default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	o := &options{
+		n:       *n,
+		trials:  *trials,
+		workers: *workers,
+		drop:    *drop,
+		latency: *latency,
+		period:  *period,
+		cycles:  *cycles,
+		seed:    *seed,
+		inbox:   *inbox,
+	}
+	var err error
+	if o.scenario, err = livenet.ParseScenario(*scenario); err != nil {
+		return nil, err
+	}
+	if o.trials < 1 {
+		return nil, fmt.Errorf("-trials must be at least 1, got %d", o.trials)
+	}
+	if o.workers < 0 {
+		return nil, fmt.Errorf("-workers must not be negative, got %d", o.workers)
+	}
+	return o, nil
+}
+
+func run(args []string, out io.Writer) error {
+	o, err := parseArgs(args)
+	if err != nil {
+		return err
+	}
+	p := experiment.LiveParams{
+		N:          o.n,
+		Config:     core.DefaultConfig(),
+		Period:     o.period,
+		Cycles:     o.cycles,
+		Drop:       o.drop,
+		MinLatency: o.latency / 4,
+		MaxLatency: o.latency,
+		InboxSize:  o.inbox,
+		Scenario:   o.scenario,
+		// Scenarios disturb the network mid-run; keep measuring the
+		// recovery tail instead of exiting on first perfection.
+		KeepRunningAfterPerfect: o.scenario.Schedule != nil,
+	}
+	seeds := experiment.Seeds(o.seed, o.trials)
+	start := time.Now()
+	res, err := experiment.RunLiveTrials(p, seeds, o.workers)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	fmt.Fprintf(out, "# livesim n=%d trials=%d workers=%d scenario=%s drop=%.2f latency=%s period=%s cycles=%d elapsed=%s\n",
+		o.n, o.trials, o.workers, o.scenario.Name, o.drop, o.latency, res.Params.Period, o.cycles, elapsed)
+	if sched := res.Trials[0].Schedule; len(sched) > 0 {
+		fmt.Fprintf(out, "# fault plan (trial 0, seed %d):\n", seeds[0])
+		for _, e := range sched {
+			fmt.Fprintf(out, "#   %s\n", e)
+		}
+	}
+	for i, t := range res.Trials {
+		f := t.Final()
+		fmt.Fprintf(out, "# trial=%d seed=%d converged_at=%d killed=%d respawned=%d final_leaf_missing=%e final_prefix_missing=%e sent=%d delivered=%d dropped=%d overflow=%d\n",
+			i, t.Seed, t.ConvergedAt, t.Killed, t.Respawned,
+			f.LeafMissing, f.PrefixMissing,
+			t.Stats.Sent, t.Stats.Delivered, t.Stats.Dropped, t.Stats.Overflow)
+	}
+	total := res.TotalStats()
+	fmt.Fprintf(out, "# converged_trials=%d/%d total_sent=%d total_delivered=%d total_dropped=%d total_overflow=%d\n",
+		res.ConvergedTrials(), o.trials, total.Sent, total.Delivered, total.Dropped, total.Overflow)
+	return res.WriteCSV(out)
+}

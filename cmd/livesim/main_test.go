@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLiveSimSmallCampaign(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-n", "48", "-trials", "2", "-workers", "2",
+		"-scenario", "churn", "-cycles", "10", "-period", "5ms",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# livesim n=48 trials=2") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "# fault plan") {
+		t.Errorf("missing fault plan:\n%s", out)
+	}
+	if !strings.Contains(out, "cycle,trials,leaf_missing_mean") {
+		t.Errorf("missing CSV header:\n%s", out)
+	}
+	dataLines := 0
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "cycle,") {
+			dataLines++
+		}
+	}
+	if dataLines != 10 {
+		t.Errorf("got %d aggregate rows, want 10:\n%s", dataLines, out)
+	}
+}
+
+func TestLiveSimFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-scenario", "bogus"},
+		{"-trials", "0"},
+		{"-workers", "-1"},
+		{"-n", "1", "-trials", "1", "-cycles", "2"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -76,7 +76,24 @@ func run() error {
 	if err := net.Start(); err != nil {
 		return err
 	}
-	time.Sleep(70 * period)
+	time.Sleep(40 * period)
+
+	// Crash a block of hosts mid-run and bring them back a few periods
+	// later with their state intact — the crash-recovery churn the
+	// campaign runner (cmd/livesim) scales up to whole scenarios.
+	const crashed = numHosts / 10
+	for i := 0; i < crashed; i++ {
+		hosts[i].Kill()
+	}
+	fmt.Printf("crashed %d hosts; letting the survivors gossip...\n", crashed)
+	time.Sleep(10 * period)
+	for i := 0; i < crashed; i++ {
+		if err := hosts[i].Respawn(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("respawned them; letting the overlay repair...\n")
+	time.Sleep(20 * period)
 	net.Close() // stop the world before reading protocol state
 
 	tr, err := truth.New(ids, cfg.B, cfg.K, cfg.C)
@@ -90,8 +107,8 @@ func run() error {
 		leafMiss, leafTot = leafMiss+lm, leafTot+lt
 		prefMiss, prefTot = prefMiss+pm, prefTot+pt
 	}
-	st := net.Stats()
-	fmt.Printf("after ~65 periods: leaf missing %.4f, prefix missing %.4f\n",
+	st := net.Snapshot()
+	fmt.Printf("after ~70 periods (incl. crash/recovery): leaf missing %.4f, prefix missing %.4f\n",
 		float64(leafMiss)/float64(leafTot), float64(prefMiss)/float64(prefTot))
 	fmt.Printf("traffic: sent %d, dropped %d (%.1f%%), delivered %d, inbox overflow %d\n",
 		st.Sent, st.Dropped, 100*float64(st.Dropped)/float64(st.Sent), st.Delivered, st.Overflow)

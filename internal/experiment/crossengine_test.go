@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestLiveCrossEngineEquivalence runs the identical protocol configuration
+// under both execution engines — the deterministic discrete-event simnet
+// (experiment.Run) and the concurrent goroutine livenet (RunLive) — with
+// zero loss and zero latency, and asserts the final overlay quality
+// agrees within tolerance. The protocol code is shared; what differs is
+// virtual time versus wall-clock goroutine scheduling, so agreement here
+// is evidence the convergence claim is not an artifact of the simulator's
+// synchronous dispatch.
+func TestLiveCrossEngineEquivalence(t *testing.T) {
+	// Generous period and cycle budget: under -race on an oversubscribed
+	// CI runner, callbacks slow ~10-20x and tick coalescing skips gossip
+	// rounds, so the live side needs wall-clock slack that an idle
+	// machine doesn't.
+	const n = 64
+	const cycles = 40
+	cfg := core.DefaultConfig()
+
+	sim, err := Run(Params{
+		N:         n,
+		Seed:      1,
+		Config:    cfg,
+		MaxCycles: cycles,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := RunLive(LiveParams{
+		N:      n,
+		Config: cfg,
+		Period: 20 * time.Millisecond,
+		Cycles: cycles,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	simF, liveF := sim.Final(), live.Final()
+	t.Logf("simnet: converged_at=%d final=(%.4f, %.4f); livenet: converged_at=%d final=(%.4f, %.4f)",
+		sim.ConvergedAt, simF.LeafMissing, simF.PrefixMissing,
+		live.ConvergedAt, liveF.LeafMissing, liveF.PrefixMissing)
+
+	if sim.ConvergedAt < 0 {
+		t.Errorf("simnet run did not converge in %d cycles", cycles)
+	}
+	if live.ConvergedAt < 0 {
+		t.Errorf("livenet run did not converge in %d cycles", cycles)
+	}
+	const tol = 0.02
+	if simF.LeafMissing > tol || liveF.LeafMissing > tol {
+		t.Errorf("final leaf missing disagrees with convergence: sim=%e live=%e (tol %v)",
+			simF.LeafMissing, liveF.LeafMissing, tol)
+	}
+	if simF.PrefixMissing > tol || liveF.PrefixMissing > tol {
+		t.Errorf("final prefix missing disagrees with convergence: sim=%e live=%e (tol %v)",
+			simF.PrefixMissing, liveF.PrefixMissing, tol)
+	}
+	if d := math.Abs(simF.LeafMissing - liveF.LeafMissing); d > tol {
+		t.Errorf("cross-engine leaf missing gap %e exceeds tolerance %v", d, tol)
+	}
+	if d := math.Abs(simF.PrefixMissing - liveF.PrefixMissing); d > tol {
+		t.Errorf("cross-engine prefix missing gap %e exceeds tolerance %v", d, tol)
+	}
+	// Cycles-to-converge should be the same order: both engines run the
+	// same protocol at the same Δ-relative rate. Allow generous slack for
+	// wall-clock scheduling noise.
+	if live.ConvergedAt >= 0 && sim.ConvergedAt >= 0 {
+		if diff := live.ConvergedAt - sim.ConvergedAt; diff > 15 || diff < -15 {
+			t.Errorf("cross-engine convergence cycles diverge: sim=%d live=%d", sim.ConvergedAt, live.ConvergedAt)
+		}
+	}
+	// Both engines must account for every message they sent.
+	if live.Stats.Sent != live.Stats.Delivered+live.Stats.Dropped+live.Stats.Overflow {
+		t.Errorf("livenet counters not conserved: %+v", live.Stats)
+	}
+	if sim.Stats.Sent == 0 || live.Stats.Sent == 0 {
+		t.Error("an engine recorded no traffic")
+	}
+}

@@ -1,0 +1,500 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/id"
+	"repro/internal/livenet"
+	"repro/internal/peer"
+	"repro/internal/sampling"
+	"repro/internal/truth"
+)
+
+// LiveParams configures one live campaign trial: the bootstrap protocol
+// running on the concurrent goroutine runtime (package livenet) under a
+// churn/failure scenario, with wall-clock cycles instead of virtual time.
+// The sampling layer is the oracle — the paper's operating assumption —
+// so campaigns isolate the bootstrap layer's behaviour under real
+// concurrency and injected faults.
+type LiveParams struct {
+	// N is the network size (one goroutine-backed host per node).
+	N int
+	// Config holds the bootstrap protocol parameters. Delta is ignored;
+	// Period is the wall-clock gossip period.
+	Config core.Config
+	// Period is the wall-clock gossip period Δ. Zero selects a default
+	// that scales with N so laptop-class machines keep up.
+	Period time.Duration
+	// Cycles is the campaign length in periods.
+	Cycles int
+	// Drop is the initial per-message loss probability (scenarios may
+	// change it mid-run).
+	Drop float64
+	// MinLatency and MaxLatency bound the initial delivery latency.
+	MinLatency, MaxLatency time.Duration
+	// InboxSize bounds each host's inbox (zero selects the livenet
+	// default).
+	InboxSize int
+	// Scenario is the churn/failure schedule; the zero value runs
+	// failure-free.
+	Scenario livenet.Scenario
+	// KeepRunningAfterPerfect continues to Cycles even after perfection.
+	KeepRunningAfterPerfect bool
+}
+
+// liveTicksPerCoreSecond is the sustained protocol-callback throughput
+// one core absorbs with headroom to spare for the measurement barrier:
+// each tick triggers a request and a reply, together ~100µs of leaf-set/
+// prefix-table work plus scheduling, so one core saturates near 10k
+// ticks/s — target about half that.
+const liveTicksPerCoreSecond = 5000
+
+// DefaultLivePeriod returns a gossip period that keeps the aggregate tick
+// rate of `concurrent` simultaneous n-host trials within this machine's
+// capacity. Every host ticks once per period, so the offered load is
+// n*concurrent/period ticks per second; a period shorter than the cores
+// can absorb just melts into inbox backlog, skipped ticks and seconds-long
+// scheduler queues — measured convergence then reflects the overload, not
+// the protocol. Clamped to [10ms, 10s].
+func DefaultLivePeriod(n, concurrent int) time.Duration {
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	cores := runtime.GOMAXPROCS(0)
+	p := time.Duration(int64(n) * int64(concurrent) * int64(time.Second) / int64(cores*liveTicksPerCoreSecond))
+	if p < 10*time.Millisecond {
+		p = 10 * time.Millisecond
+	}
+	if p > 10*time.Second {
+		p = 10 * time.Second
+	}
+	return p
+}
+
+func (p LiveParams) withDefaults(concurrent int) LiveParams {
+	// Only exactly zero selects the default — a negative Period is a
+	// caller bug that must reach Validate, not be silently replaced.
+	if p.Period == 0 {
+		p.Period = DefaultLivePeriod(p.N, concurrent)
+	}
+	return p
+}
+
+// Validate checks the parameters.
+func (p LiveParams) Validate() error {
+	if p.N < 2 {
+		return errors.New("experiment: live N must be at least 2")
+	}
+	if p.Cycles < 1 {
+		return errors.New("experiment: live Cycles must be positive")
+	}
+	if p.Drop < 0 || p.Drop >= 1 {
+		return fmt.Errorf("experiment: live Drop = %v out of [0, 1)", p.Drop)
+	}
+	if p.Period < 0 {
+		return errors.New("experiment: live Period must not be negative")
+	}
+	if p.MinLatency < 0 || p.MaxLatency < 0 {
+		return errors.New("experiment: live latency bounds must not be negative")
+	}
+	return p.Config.Validate()
+}
+
+// LiveResult is the outcome of one live trial.
+type LiveResult struct {
+	Params LiveParams
+	Seed   int64
+	// Schedule is the scenario's event plan for this seed — deterministic
+	// given (seed, scenario), unlike the message interleaving.
+	Schedule []livenet.Event
+	// Points holds one entry per completed cycle. WireUnits is always 0:
+	// the livenet engine does not do descriptor-unit accounting.
+	Points []Point
+	// ConvergedAt is the first cycle at which both structures were
+	// perfect at every live node, or -1.
+	ConvergedAt int
+	// Stats is the final network traffic snapshot (conserved: Sent ==
+	// Delivered + Dropped + Overflow after shutdown).
+	Stats livenet.Stats
+	// Killed and Respawned count lifecycle events applied by the
+	// scenario.
+	Killed, Respawned int
+}
+
+// Final returns the last measured point (zero Point for an empty series).
+func (res *LiveResult) Final() Point {
+	if len(res.Points) == 0 {
+		return Point{}
+	}
+	return res.Points[len(res.Points)-1]
+}
+
+// liveMember is one node of the campaign network.
+type liveMember struct {
+	desc  peer.Descriptor
+	host  *livenet.Host
+	node  *core.Node
+	alive bool
+}
+
+// RunLive executes one live trial: N hosts on the concurrent runtime,
+// scenario events applied at cycle boundaries, and a pause-the-world
+// measurement (PauseAll/ResumeAll) of the convergence metrics each cycle.
+func RunLive(p LiveParams, seed int64) (*LiveResult, error) {
+	p = p.withDefaults(1)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+
+	net := livenet.New(livenet.Config{
+		Seed:       seed,
+		Drop:       p.Drop,
+		MinLatency: p.MinLatency,
+		MaxLatency: p.MaxLatency,
+		InboxSize:  p.InboxSize,
+	})
+	defer net.Close()
+
+	ids := id.Unique(p.N, seed+0x11)
+	descs := make([]peer.Descriptor, p.N)
+	members := make([]*liveMember, p.N)
+	for i := 0; i < p.N; i++ {
+		h := net.AddHost()
+		descs[i] = peer.Descriptor{ID: ids[i], Addr: h.Addr()}
+		members[i] = &liveMember{desc: descs[i], host: h, alive: true}
+	}
+	oracle := sampling.NewOracle(descs, seed+0x1234)
+	rng := rand.New(rand.NewSource(seed + 0x9e3779b9))
+	for _, m := range members {
+		node, err := core.NewNode(m.desc, p.Config, oracle)
+		if err != nil {
+			return nil, err
+		}
+		m.node = node
+		offset := time.Duration(rng.Int63n(int64(p.Period)))
+		if err := m.host.Attach(core.ProtoID, node, p.Period, offset); err != nil {
+			return nil, fmt.Errorf("attach bootstrap: %w", err)
+		}
+	}
+
+	schedule := p.Scenario.Events(seed, p.N, p.Cycles)
+	byCycle := make(map[int][]livenet.Event, len(schedule))
+	lastEvent := -1
+	for _, e := range schedule {
+		byCycle[e.Cycle] = append(byCycle[e.Cycle], e)
+		if e.Cycle > lastEvent {
+			lastEvent = e.Cycle
+		}
+	}
+
+	if err := net.Start(); err != nil {
+		return nil, err
+	}
+
+	res := &LiveResult{Params: p, Seed: seed, Schedule: schedule, ConvergedAt: -1}
+	var meas *liveMeasurer
+	stale := true
+	for cycle := 0; cycle < p.Cycles; cycle++ {
+		for _, e := range byCycle[cycle] {
+			changed, err := applyLiveEvent(net, members, oracle, rng, e, res)
+			if err != nil {
+				return nil, err
+			}
+			stale = stale || changed
+		}
+		// Membership only changes via applyLiveEvent above (same
+		// goroutine), so the ground truth can be rebuilt before pausing
+		// the world — the stop-the-world window then covers only the
+		// actual state inspection, not the truth derivation.
+		if stale {
+			var aliveIDs []id.ID
+			for _, m := range members {
+				if m.alive {
+					aliveIDs = append(aliveIDs, m.desc.ID)
+				}
+			}
+			var err error
+			meas, err = newLiveMeasurer(aliveIDs, p.Config)
+			if err != nil {
+				return nil, err
+			}
+			stale = false
+		}
+		time.Sleep(p.Period)
+
+		net.PauseAll()
+		pt := meas.measure(members, cycle, net.Snapshot())
+		net.ResumeAll()
+
+		res.Points = append(res.Points, pt)
+		// Events apply at the start of their cycle and measurement runs
+		// at its end, so a perfect measurement at the last event's own
+		// cycle already reflects the fully applied fault plan.
+		if pt.LeafMissing == 0 && pt.PrefixMissing == 0 && cycle >= lastEvent {
+			if res.ConvergedAt < 0 {
+				res.ConvergedAt = cycle
+			}
+			if !p.KeepRunningAfterPerfect {
+				break
+			}
+		}
+	}
+	net.Close()
+	res.Stats = net.Snapshot()
+	return res, nil
+}
+
+// applyLiveEvent executes one scenario event; it reports whether the live
+// membership changed (forcing a ground-truth rebuild).
+func applyLiveEvent(net *livenet.Network, members []*liveMember, oracle *sampling.Oracle, rng *rand.Rand, e livenet.Event, res *LiveResult) (bool, error) {
+	switch e.Op {
+	case livenet.OpKill:
+		var alive []*liveMember
+		for _, m := range members {
+			if m.alive {
+				alive = append(alive, m)
+			}
+		}
+		k := int(e.Frac * float64(len(alive)))
+		if k == 0 && e.Frac > 0 {
+			k = 1
+		}
+		// Never kill the whole network: keep at least two hosts so the
+		// survivors still have someone to gossip with.
+		if max := len(alive) - 2; k > max {
+			k = max
+		}
+		if k <= 0 {
+			return false, nil
+		}
+		perm := rng.Perm(len(alive))
+		// Kill the wave in parallel: each Kill blocks until the victim's
+		// goroutine exits, and paying those scheduler round-trips serially
+		// makes a 1000-host wave take minutes on a loaded machine.
+		var wg sync.WaitGroup
+		for i := 0; i < k; i++ {
+			victim := alive[perm[i]]
+			victim.alive = false
+			oracle.Remove(victim.desc.ID)
+			res.Killed++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				victim.host.Kill()
+			}()
+		}
+		wg.Wait()
+		return true, nil
+	case livenet.OpRespawn:
+		changed := false
+		for _, m := range members {
+			if m.alive {
+				continue
+			}
+			if err := m.host.Respawn(); err != nil {
+				return changed, err
+			}
+			m.alive = true
+			oracle.Add(m.desc)
+			res.Respawned++
+			changed = true
+		}
+		return changed, nil
+	case livenet.OpPartition:
+		split := peer.Addr(e.Split)
+		net.SetPartition(func(from, to peer.Addr) bool {
+			return (from < split) != (to < split)
+		})
+		return false, nil
+	case livenet.OpHeal:
+		net.SetPartition(nil)
+		return false, nil
+	case livenet.OpSetDrop:
+		v := e.Value
+		if v < 0 {
+			v = res.Params.Drop // restore the configured baseline
+		}
+		net.SetDrop(v)
+		return false, nil
+	case livenet.OpSetLatency:
+		min, max := e.Min, e.Max
+		if min < 0 || max < 0 {
+			min, max = res.Params.MinLatency, res.Params.MaxLatency
+		}
+		net.SetLatency(min, max)
+		return false, nil
+	default:
+		return false, fmt.Errorf("experiment: unknown scenario op %v", e.Op)
+	}
+}
+
+// liveMeasurer computes per-cycle convergence metrics for one membership
+// epoch. It caches the per-node perfect structures (leaf set, expected
+// slot counts), which are a function of the membership alone: measuring
+// every cycle at 10k+ hosts would otherwise spend most of its paused
+// window re-deriving identical ground truth.
+type liveMeasurer struct {
+	tr    *truth.Truth
+	leaf  map[id.ID][]id.ID
+	slots map[id.ID][][]int
+}
+
+func newLiveMeasurer(aliveIDs []id.ID, cfg core.Config) (*liveMeasurer, error) {
+	tr, err := truth.New(aliveIDs, cfg.B, cfg.K, cfg.C)
+	if err != nil {
+		return nil, err
+	}
+	m := &liveMeasurer{
+		tr:    tr,
+		leaf:  make(map[id.ID][]id.ID, len(aliveIDs)),
+		slots: make(map[id.ID][][]int, len(aliveIDs)),
+	}
+	for _, v := range aliveIDs {
+		m.leaf[v] = tr.PerfectLeafSet(v)
+		m.slots[v] = tr.ExpectedSlotCounts(v)
+	}
+	return m, nil
+}
+
+// measure computes the network-wide missing proportions against the
+// ground truth for the current live membership. Callers must have paused
+// the network (or closed it) so protocol state is quiescent.
+func (mm *liveMeasurer) measure(members []*liveMember, cycle int, st livenet.Stats) Point {
+	tr := mm.tr
+	var leafMiss, leafTot, prefMiss, prefTot int
+	var leafPerfect, prefPerfect, leafDead, prefDead, alive int
+	for _, m := range members {
+		if !m.alive {
+			continue
+		}
+		alive++
+		lm, lt := truth.LeafSetMissingWith(mm.leaf[m.desc.ID], m.node.Leaf())
+		pm, pt, pd := tr.PrefixMissingLiveWith(mm.slots[m.desc.ID], m.node.Table())
+		leafMiss += lm
+		leafTot += lt
+		prefMiss += pm
+		prefTot += pt
+		prefDead += pd
+		leafDead += tr.LeafSetDead(m.node.Leaf())
+		if lm == 0 {
+			leafPerfect++
+		}
+		if pm == 0 {
+			prefPerfect++
+		}
+	}
+	pt := Point{
+		Cycle:         cycle,
+		LeafPerfect:   leafPerfect,
+		PrefixPerfect: prefPerfect,
+		LeafDead:      leafDead,
+		PrefixDead:    prefDead,
+		Alive:         alive,
+		Sent:          st.Sent,
+		Dropped:       st.Dropped,
+	}
+	if leafTot > 0 {
+		pt.LeafMissing = float64(leafMiss) / float64(leafTot)
+	}
+	if prefTot > 0 {
+		pt.PrefixMissing = float64(prefMiss) / float64(prefTot)
+	}
+	return pt
+}
+
+// LiveTrialsResult is the outcome of a multi-trial live campaign.
+type LiveTrialsResult struct {
+	// Params is the shared configuration.
+	Params LiveParams
+	// Seeds are the per-trial seeds, in input order.
+	Seeds []int64
+	// Trials holds one full LiveResult per seed, index-aligned with
+	// Seeds.
+	Trials []*LiveResult
+	// Agg is the per-cycle aggregate series (see TrialsResult.Agg).
+	Agg []AggPoint
+}
+
+// RunLiveTrials runs one independent live trial per seed, fanning the
+// trials across a pool of workers goroutines (workers < 1 means
+// GOMAXPROCS), and aggregates the per-cycle convergence series. Unlike
+// RunTrials the per-trial series are wall-clock concurrent executions:
+// the fault schedules are deterministic per seed, the interleavings are
+// not, which is exactly the point of the campaign.
+func RunLiveTrials(p LiveParams, seeds []int64, workers int) (*LiveTrialsResult, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("experiment: RunLiveTrials needs at least one seed")
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	// Resolve the default period against the number of trials that will
+	// actually run at once, and share it across all trials so their
+	// per-cycle series aggregate like with like.
+	p = p.withDefaults(workers)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+
+	results := make([]*LiveResult, len(seeds))
+	errs := make([]error, len(seeds))
+	runPool(len(seeds), workers, func(i int) {
+		results[i], errs[i] = RunLive(p, seeds[i])
+	})
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("live trial %d (seed %d): %w", i, seeds[i], err)
+		}
+	}
+	series := make([][]Point, len(results))
+	conv := make([]int, len(results))
+	for i, r := range results {
+		series[i] = r.Points
+		conv[i] = r.ConvergedAt
+	}
+	return &LiveTrialsResult{
+		Params: p,
+		Seeds:  seeds,
+		Trials: results,
+		Agg:    aggregateSeries(series, conv),
+	}, nil
+}
+
+// ConvergedTrials counts trials that reached perfection.
+func (tr *LiveTrialsResult) ConvergedTrials() int {
+	n := 0
+	for _, t := range tr.Trials {
+		if t.ConvergedAt >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalStats sums the traffic counters across trials.
+func (tr *LiveTrialsResult) TotalStats() livenet.Stats {
+	var total livenet.Stats
+	for _, t := range tr.Trials {
+		total.Sent += t.Stats.Sent
+		total.Dropped += t.Stats.Dropped
+		total.Delivered += t.Stats.Delivered
+		total.Overflow += t.Stats.Overflow
+	}
+	return total
+}
+
+// WriteCSV emits the aggregate per-cycle series with a header.
+func (tr *LiveTrialsResult) WriteCSV(w io.Writer) error {
+	return writeAggCSV(w, tr.Agg)
+}

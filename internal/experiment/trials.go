@@ -70,30 +70,14 @@ func RunTrials(p Params, seeds []int64, workers int) (*TrialsResult, error) {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(seeds) {
-		workers = len(seeds)
-	}
 
 	results := make([]*Result, len(seeds))
 	errs := make([]error, len(seeds))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				tp := p
-				tp.Seed = seeds[i]
-				results[i], errs[i] = Run(tp)
-			}
-		}()
-	}
-	for i := range seeds {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	runPool(len(seeds), workers, func(i int) {
+		tp := p
+		tp.Seed = seeds[i]
+		results[i], errs[i] = Run(tp)
+	})
 
 	for i, err := range errs {
 		if err != nil {
@@ -108,24 +92,67 @@ func RunTrials(p Params, seeds []int64, workers int) (*TrialsResult, error) {
 	}, nil
 }
 
+// runPool runs fn(i) for every i in [0, n) across a pool of workers
+// goroutines and waits for all of them — the shared trial fan-out of
+// RunTrials and RunLiveTrials.
+func runPool(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
 // aggregate folds the per-trial series into a per-cycle aggregate. Trials
 // shorter than the longest one (early convergence) contribute their final
 // point for the remaining cycles.
 func aggregate(trials []*Result) []AggPoint {
+	series := make([][]Point, len(trials))
+	conv := make([]int, len(trials))
+	for i, t := range trials {
+		series[i] = t.Points
+		conv[i] = t.ConvergedAt
+	}
+	return aggregateSeries(series, conv)
+}
+
+// aggregateSeries is the engine-agnostic aggregation core shared by the
+// simnet (RunTrials) and livenet (RunLiveTrials) campaign runners: one
+// per-cycle Point series and ConvergedAt per trial in, mean/min/max
+// aggregates out. Series shorter than the longest one contribute their
+// final point for the remaining cycles.
+func aggregateSeries(series [][]Point, convergedAt []int) []AggPoint {
 	cycles := 0
-	for _, t := range trials {
-		if len(t.Points) > cycles {
-			cycles = len(t.Points)
+	for _, pts := range series {
+		if len(pts) > cycles {
+			cycles = len(pts)
 		}
 	}
 	agg := make([]AggPoint, 0, cycles)
 	for c := 0; c < cycles; c++ {
-		a := AggPoint{Cycle: c, Trials: len(trials)}
+		a := AggPoint{Cycle: c, Trials: len(series)}
 		converged := 0
-		for i, t := range trials {
-			pt := t.Points[len(t.Points)-1]
-			if c < len(t.Points) {
-				pt = t.Points[c]
+		for i, pts := range series {
+			pt := pts[len(pts)-1]
+			if c < len(pts) {
+				pt = pts[c]
 			}
 			a.LeafMean += pt.LeafMissing
 			a.PrefixMean += pt.PrefixMissing
@@ -141,13 +168,13 @@ func aggregate(trials []*Result) []AggPoint {
 			if pt.PrefixMissing > a.PrefixMax {
 				a.PrefixMax = pt.PrefixMissing
 			}
-			if t.ConvergedAt >= 0 && c >= t.ConvergedAt {
+			if convergedAt[i] >= 0 && c >= convergedAt[i] {
 				converged++
 			}
 		}
-		a.LeafMean /= float64(len(trials))
-		a.PrefixMean /= float64(len(trials))
-		a.ConvergedFrac = float64(converged) / float64(len(trials))
+		a.LeafMean /= float64(len(series))
+		a.PrefixMean /= float64(len(series))
+		a.ConvergedFrac = float64(converged) / float64(len(series))
 		agg = append(agg, a)
 	}
 	return agg
@@ -166,10 +193,15 @@ func (tr *TrialsResult) ConvergedTrials() int {
 
 // WriteCSV emits the aggregate per-cycle series with a header.
 func (tr *TrialsResult) WriteCSV(w io.Writer) error {
+	return writeAggCSV(w, tr.Agg)
+}
+
+// writeAggCSV is the shared CSV emitter for aggregate series.
+func writeAggCSV(w io.Writer, agg []AggPoint) error {
 	if _, err := fmt.Fprintln(w, "cycle,trials,leaf_missing_mean,leaf_missing_min,leaf_missing_max,prefix_missing_mean,prefix_missing_min,prefix_missing_max,converged_frac"); err != nil {
 		return err
 	}
-	for _, a := range tr.Agg {
+	for _, a := range agg {
 		row := strconv.Itoa(a.Cycle) + "," +
 			strconv.Itoa(a.Trials) + "," +
 			strconv.FormatFloat(a.LeafMean, 'e', 6, 64) + "," +

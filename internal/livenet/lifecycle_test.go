@@ -1,0 +1,332 @@
+package livenet
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/peer"
+	"repro/internal/proto"
+)
+
+// echoProto sends a message to a target on every tick and counts what it
+// handles. Counters are plain ints: the engine serialises all callbacks
+// per host, which is exactly what -race verifies.
+type echoProto struct {
+	targets []peer.Addr
+	handled int
+	ticked  int
+}
+
+func (p *echoProto) Init(proto.Context) {}
+func (p *echoProto) Tick(ctx proto.Context) {
+	p.ticked++
+	if len(p.targets) > 0 {
+		ctx.Send(p.targets[ctx.Rand().Intn(len(p.targets))], "ping")
+	}
+}
+func (p *echoProto) Handle(ctx proto.Context, from peer.Addr, msg proto.Message) { p.handled++ }
+
+// buildEchoNet wires n hosts that each tick every period and ping a random
+// peer.
+func buildEchoNet(t *testing.T, n int, cfg Config, period time.Duration) (*Network, []*Host) {
+	t.Helper()
+	net := New(cfg)
+	hosts := make([]*Host, n)
+	addrs := make([]peer.Addr, n)
+	for i := range hosts {
+		hosts[i] = net.AddHost()
+		addrs[i] = hosts[i].Addr()
+	}
+	for i, h := range hosts {
+		if err := h.Attach(9, &echoProto{targets: addrs}, period, time.Duration(i)*period/time.Duration(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net, hosts
+}
+
+func checkConservation(t *testing.T, st Stats) {
+	t.Helper()
+	if st.Sent != st.Delivered+st.Dropped+st.Overflow {
+		t.Errorf("counter conservation violated at quiescence: sent=%d != delivered=%d + dropped=%d + overflow=%d (sum %d)",
+			st.Sent, st.Delivered, st.Dropped, st.Overflow, st.Delivered+st.Dropped+st.Overflow)
+	}
+}
+
+// TestLiveStatsConservation drives traffic through every loss path — the
+// drop model, latency (in-flight messages stranded at Close), a tiny
+// inbox (overflow), and a killed host — and checks that at quiescence
+// Sent == Delivered + Dropped + Overflow.
+func TestLiveStatsConservation(t *testing.T) {
+	net, hosts := buildEchoNet(t, 8, Config{
+		Seed:       21,
+		Drop:       0.3,
+		MinLatency: time.Millisecond,
+		MaxLatency: 3 * time.Millisecond,
+		InboxSize:  4,
+	}, 2*time.Millisecond)
+	if err := net.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	hosts[0].Kill()
+	time.Sleep(60 * time.Millisecond)
+	net.Close()
+	st := net.Snapshot()
+	if st.Sent == 0 {
+		t.Fatal("no traffic")
+	}
+	checkConservation(t, st)
+	if st.Dropped == 0 {
+		t.Error("drop=0.3 recorded no drops")
+	}
+}
+
+// TestLiveKillRespawnSnapshotRace hammers the lifecycle API from several
+// goroutines at once — random Kill/Respawn, Pause/Resume sweeps, and
+// stats snapshots — while traffic flows. Run with -race; correctness here
+// is "no race, no deadlock, counters conserved at quiescence".
+func TestLiveKillRespawnSnapshotRace(t *testing.T) {
+	const n = 24
+	net, hosts := buildEchoNet(t, n, Config{Seed: 31, InboxSize: 16}, time.Millisecond)
+	if err := net.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stopCh := make(chan struct{})
+	// Churn goroutines: concurrent Kill/Respawn of overlapping host sets,
+	// including double-kill and respawn-while-respawning paths.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stopCh:
+					return
+				default:
+				}
+				h := hosts[rng.Intn(n)]
+				if rng.Intn(2) == 0 {
+					h.Kill()
+				} else if err := h.Respawn(); err != nil {
+					return // network closing
+				}
+			}
+		}(int64(g))
+	}
+	// Snapshot goroutine: consistent cuts plus per-host stats.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			st := net.Snapshot()
+			if st.Sent < 0 || st.Delivered > st.Sent {
+				t.Errorf("implausible snapshot: %+v", st)
+				return
+			}
+			for _, h := range hosts {
+				_ = h.Stats()
+			}
+		}
+	}()
+	// Pause/Resume sweeps against the churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			net.PauseAll()
+			net.ResumeAll()
+		}
+	}()
+
+	time.Sleep(150 * time.Millisecond)
+	close(stopCh)
+	wg.Wait()
+	net.Close()
+	checkConservation(t, net.Snapshot())
+}
+
+// TestLiveSendToDeadHost checks that messages addressed to a killed host
+// are accounted for and that the host handles traffic again after
+// Respawn with its state intact.
+func TestLiveSendToDeadHost(t *testing.T) {
+	net := New(Config{Seed: 41})
+	a, b := net.AddHost(), net.AddHost()
+	pa := &echoProto{targets: []peer.Addr{b.Addr()}}
+	pb := &echoProto{}
+	if err := a.Attach(9, pa, time.Millisecond, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Attach(9, pb, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	b.Kill()
+	if !b.Stopped() {
+		t.Fatal("killed host not Stopped")
+	}
+	b.Kill() // idempotent
+	time.Sleep(30 * time.Millisecond)
+
+	// Reading pb is safe: Kill waited for the host goroutine.
+	handledWhileDead := pb.handled
+	if handledWhileDead == 0 {
+		t.Error("no traffic handled before the kill")
+	}
+	if err := b.Respawn(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Stopped() {
+		t.Error("respawned host still Stopped")
+	}
+	time.Sleep(30 * time.Millisecond)
+	net.Close()
+	if pb.handled <= handledWhileDead {
+		t.Error("respawned host handled no new messages")
+	}
+	if got := b.Stats().Incarnations; got != 2 {
+		t.Errorf("incarnations = %d, want 2", got)
+	}
+	checkConservation(t, net.Snapshot())
+}
+
+// TestLivePauseResume checks the pause handshake: a paused host runs no
+// callbacks (its counters freeze) and resumes where it left off.
+func TestLivePauseResume(t *testing.T) {
+	net := New(Config{Seed: 51})
+	h := net.AddHost()
+	p := &echoProto{}
+	if err := h.Attach(9, p, time.Millisecond, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if !h.Pause() {
+		t.Fatal("Pause failed on a live host")
+	}
+	ticked := p.ticked // safe: host is parked
+	time.Sleep(20 * time.Millisecond)
+	if p.ticked != ticked {
+		t.Errorf("paused host ticked %d more times", p.ticked-ticked)
+	}
+	if !h.Resume() {
+		t.Fatal("Resume failed")
+	}
+	time.Sleep(20 * time.Millisecond)
+	net.Close()
+	if p.ticked <= ticked {
+		t.Error("resumed host never ticked again")
+	}
+}
+
+// TestLiveDoubleCloseAndLifecycleAfterClose pins the shutdown paths:
+// Close is idempotent, Kill after Close must not hang, Respawn after
+// Close reports ErrClosed, Pause after Close reports failure.
+func TestLiveDoubleCloseAndLifecycleAfterClose(t *testing.T) {
+	net, hosts := buildEchoNet(t, 4, Config{Seed: 61}, time.Millisecond)
+	if err := net.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	net.Close()
+	net.Close() // idempotent
+	hosts[0].Kill()
+	if err := hosts[1].Respawn(); err != ErrClosed {
+		t.Errorf("Respawn after Close = %v, want ErrClosed", err)
+	}
+	if hosts[2].Pause() {
+		t.Error("Pause succeeded after Close")
+	}
+	if err := net.Start(); err == nil {
+		t.Error("Start after Close should fail")
+	}
+	checkConservation(t, net.Snapshot())
+}
+
+// TestLiveKillBeforeStart kills a host before Start: the network must
+// come up without it and Close cleanly.
+func TestLiveKillBeforeStart(t *testing.T) {
+	net, hosts := buildEchoNet(t, 4, Config{Seed: 71}, time.Millisecond)
+	hosts[3].Kill()
+	if err := net.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	net.Close()
+	if got := hosts[3].Stats().Incarnations; got != 0 {
+		t.Errorf("pre-start-killed host ran %d incarnations", got)
+	}
+	checkConservation(t, net.Snapshot())
+}
+
+// TestLiveRuntimeFaultModel flips the fault model while the network runs:
+// drop to 1.0 silences delivery growth, a full partition between the two
+// hosts does the same, and healing restores traffic.
+func TestLiveRuntimeFaultModel(t *testing.T) {
+	net := New(Config{Seed: 81})
+	a, b := net.AddHost(), net.AddHost()
+	pa := &echoProto{targets: []peer.Addr{b.Addr()}}
+	pb := &echoProto{}
+	if err := a.Attach(9, pa, time.Millisecond, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Attach(9, pb, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(25 * time.Millisecond)
+	base := net.Snapshot()
+	if base.Delivered == 0 {
+		t.Fatal("no traffic before fault injection")
+	}
+
+	net.SetDrop(1.0)
+	time.Sleep(25 * time.Millisecond)
+	mid := net.Snapshot()
+	net.SetDrop(0)
+
+	// Snapshot after the drop phase so the partition assertion measures
+	// the partition, not leftovers of drop=1.0.
+	preCut := net.Snapshot()
+	split := b.Addr()
+	net.SetPartition(func(from, to peer.Addr) bool { return (from < split) != (to < split) })
+	time.Sleep(25 * time.Millisecond)
+	cut := net.Snapshot()
+	if cut.Dropped <= preCut.Dropped {
+		t.Error("partition dropped nothing")
+	}
+	net.SetPartition(nil)
+	net.SetLatency(time.Millisecond, 2*time.Millisecond)
+	time.Sleep(25 * time.Millisecond)
+	net.Close()
+	final := net.Snapshot()
+	if final.Delivered <= cut.Delivered {
+		t.Error("healing the partition restored no traffic")
+	}
+	if mid.Dropped <= base.Dropped {
+		t.Error("drop=1.0 dropped nothing")
+	}
+	checkConservation(t, final)
+}

@@ -4,9 +4,16 @@
 // loss, latency, and bounded inboxes (UDP-like semantics). It demonstrates
 // that the protocol implementations are engine-agnostic and exercises them
 // under real concurrency; run the tests with -race.
+//
+// Beyond plain message passing the runtime exposes a host lifecycle API —
+// Pause/Resume (freeze a host between callbacks, e.g. for a consistent
+// whole-network measurement), Kill/Respawn (crash-recovery churn) — and a
+// runtime-mutable fault model (SetDrop, SetLatency, SetPartition) that the
+// scenario layer (scenario.go) drives during campaign runs.
 package livenet
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -18,7 +25,9 @@ import (
 	"repro/internal/proto"
 )
 
-// Config parameterises the runtime.
+// Config parameterises the runtime. Drop and the latency bounds are only
+// the initial fault model; SetDrop/SetLatency/SetPartition change it while
+// the network runs.
 type Config struct {
 	// Seed drives the loss and latency models and per-host RNGs.
 	Seed int64
@@ -31,7 +40,15 @@ type Config struct {
 	InboxSize int
 }
 
-// Stats aggregates traffic counters. All fields are updated atomically.
+// Stats is a snapshot of the network traffic counters. At quiescence
+// (after Close) the counters are conserved:
+//
+//	Sent == Delivered + Dropped + Overflow
+//
+// Every sent message is eventually dispatched to a protocol (Delivered),
+// rejected by the fault model, addressed to a dead or unknown host, or
+// stranded in flight at shutdown (Dropped), or bounced off a full inbox
+// (Overflow).
 type Stats struct {
 	Sent      int64
 	Dropped   int64
@@ -39,16 +56,37 @@ type Stats struct {
 	Overflow  int64
 }
 
+// HostStats is a per-host traffic snapshot.
+type HostStats struct {
+	// Delivered counts messages dispatched to this host's protocols.
+	Delivered int64
+	// Overflow counts messages bounced off this host's full inbox.
+	Overflow int64
+	// Ticks counts protocol tick callbacks run on this host.
+	Ticks int64
+	// Incarnations counts how many times the host has been (re)started.
+	Incarnations int64
+}
+
 // Network is a concurrent in-memory network of hosts.
 type Network struct {
-	cfg    Config
-	mu     sync.Mutex
-	rng    *rand.Rand // guarded by mu: drop/latency decisions, host seeds
-	hosts  []*Host
-	wg     sync.WaitGroup
-	stop   chan struct{}
-	closed atomic.Bool
-	start  time.Time
+	cfg     Config
+	mu      sync.Mutex
+	rng     *rand.Rand // guarded by mu: drop/latency decisions, host seeds
+	hosts   []*Host
+	wg      sync.WaitGroup
+	stop    chan struct{}
+	closed  atomic.Bool
+	closing bool // guarded by mu: no wg.Add once set
+	started atomic.Bool
+	start   time.Time
+
+	// Mutable fault model, guarded by mu.
+	drop           float64
+	minLat, maxLat time.Duration
+	partition      func(from, to peer.Addr) bool
+
+	wire *wire
 
 	sent, dropped, delivered, overflow atomic.Int64
 }
@@ -61,13 +99,45 @@ func New(cfg Config) *Network {
 	if cfg.MaxLatency < cfg.MinLatency {
 		cfg.MaxLatency = cfg.MinLatency
 	}
-	return &Network{
-		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
-		stop: make(chan struct{}),
+	n := &Network{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		stop:   make(chan struct{}),
+		drop:   cfg.Drop,
+		minLat: cfg.MinLatency,
+		maxLat: cfg.MaxLatency,
 	}
+	n.wire = newWire(n)
+	return n
 }
 
+// SetDrop changes the per-message loss probability at runtime.
+func (n *Network) SetDrop(p float64) {
+	n.mu.Lock()
+	n.drop = p
+	n.mu.Unlock()
+}
+
+// SetLatency changes the delivery latency window at runtime.
+func (n *Network) SetLatency(min, max time.Duration) {
+	if max < min {
+		max = min
+	}
+	n.mu.Lock()
+	n.minLat, n.maxLat = min, max
+	n.mu.Unlock()
+}
+
+// SetPartition installs a cut predicate: messages for which fn(from, to)
+// reports true are dropped. Passing nil heals the partition. fn must be
+// pure and fast; it is called with the network lock held.
+func (n *Network) SetPartition(fn func(from, to peer.Addr) bool) {
+	n.mu.Lock()
+	n.partition = fn
+	n.mu.Unlock()
+}
+
+// command is one unit of work for a host goroutine.
 type command struct {
 	// tick is non-nil for tick commands.
 	tick *binding
@@ -82,6 +152,43 @@ type binding struct {
 	p      proto.Protocol
 	period time.Duration
 	offset time.Duration
+	// tickQueued coalesces tick commands: at most one tick per binding
+	// sits in the inbox at a time. Without this a host that falls behind
+	// (or is paused for a measurement) accumulates a backlog of stale
+	// ticks and then fires a catch-up gossip storm — hundreds of extra
+	// messages per host — instead of just resuming at its period.
+	tickQueued atomic.Bool
+}
+
+// incarnation is one life of a host: the channels that end it. Kill closes
+// down and waits for exited; Respawn installs a fresh incarnation.
+type incarnation struct {
+	down     chan struct{}
+	downOnce sync.Once
+	exited   chan struct{}
+	running  bool // goroutine launched (guarded by Host.mu)
+}
+
+func newIncarnation() *incarnation {
+	return &incarnation{down: make(chan struct{}), exited: make(chan struct{})}
+}
+
+func (inc *incarnation) kill() { inc.downOnce.Do(func() { close(inc.down) }) }
+
+func (inc *incarnation) dead() bool {
+	select {
+	case <-inc.down:
+		return true
+	default:
+		return false
+	}
+}
+
+// ctrlMsg is a pause/resume handshake. ack is closed by the host goroutine
+// once the command takes effect.
+type ctrlMsg struct {
+	pause bool
+	ack   chan struct{}
 }
 
 // Host is one node: a mailbox plus the protocols attached to it. All
@@ -93,12 +200,12 @@ type Host struct {
 	rng      *rand.Rand
 	bindings []*binding
 	protos   map[proto.ProtoID]proto.Protocol
-	tickers  []*time.Ticker
-	timers   []*time.Timer
-	down     chan struct{}
-	downOnce sync.Once
-	exited   chan struct{}
-	started  atomic.Bool
+	ctrl     chan ctrlMsg
+
+	mu  sync.Mutex // lifecycle state
+	inc *incarnation
+
+	delivered, overflow, ticks, incarnations atomic.Int64
 }
 
 // hostContext implements proto.Context for livenet callbacks; one per
@@ -128,8 +235,8 @@ func (n *Network) AddHost() *Host {
 		inbox:  make(chan command, n.cfg.InboxSize),
 		rng:    rand.New(rand.NewSource(n.rng.Int63())),
 		protos: make(map[proto.ProtoID]proto.Protocol, 2),
-		down:   make(chan struct{}),
-		exited: make(chan struct{}),
+		ctrl:   make(chan ctrlMsg),
+		inc:    newIncarnation(),
 	}
 	n.hosts = append(n.hosts, h)
 	return h
@@ -138,24 +245,168 @@ func (n *Network) AddHost() *Host {
 // Addr returns the host's address.
 func (h *Host) Addr() peer.Addr { return h.addr }
 
-// Stop crashes the host: its goroutine exits, its tickers stop, and
-// messages addressed to it are dropped. It waits for the host goroutine
-// to finish its current callback, so the host's protocol state may be
-// inspected safely afterwards. Safe to call multiple times.
-func (h *Host) Stop() {
-	h.downOnce.Do(func() { close(h.down) })
-	if h.started.Load() {
-		<-h.exited
+// Stats returns the host's per-host counters.
+func (h *Host) Stats() HostStats {
+	return HostStats{
+		Delivered:    h.delivered.Load(),
+		Overflow:     h.overflow.Load(),
+		Ticks:        h.ticks.Load(),
+		Incarnations: h.incarnations.Load(),
 	}
 }
 
-// Stopped reports whether the host has been crashed.
+// Kill crashes the host: its goroutine exits, its tickers stop, and
+// messages addressed to it are dropped. It waits for the host goroutine
+// to finish its current callback, so the host's protocol state may be
+// inspected safely afterwards, and drains messages already queued in the
+// inbox, counting them as dropped. Safe to call multiple times and safe
+// to call concurrently with Respawn and with senders.
+func (h *Host) Kill() {
+	for {
+		h.mu.Lock()
+		inc := h.inc
+		h.mu.Unlock()
+		inc.kill()
+		h.mu.Lock()
+		running := inc.running
+		h.mu.Unlock()
+		if running {
+			<-inc.exited
+		}
+		h.drainInbox()
+		h.mu.Lock()
+		same := h.inc == inc
+		h.mu.Unlock()
+		if same {
+			return
+		}
+		// A concurrent Respawn swapped in a fresh incarnation between
+		// our read and now; kill that one too, or we would return with
+		// the host still running.
+	}
+}
+
+// Stop is an alias for Kill, kept for API compatibility.
+func (h *Host) Stop() { h.Kill() }
+
+// drainInbox discards queued deliveries, counting them as dropped. Tick
+// commands are engine-internal and do not touch the traffic counters.
+func (h *Host) drainInbox() {
+	for {
+		select {
+		case cmd := <-h.inbox:
+			if cmd.tick != nil {
+				cmd.tick.tickQueued.Store(false)
+			} else {
+				h.net.dropped.Add(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Stopped reports whether the host's current incarnation has been killed.
 func (h *Host) Stopped() bool {
-	select {
-	case <-h.down:
-		return true
-	default:
-		return false
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.inc.dead()
+}
+
+// Respawn restarts a killed host with its protocol state intact — the
+// crash-recovery model: the node comes back with whatever (possibly
+// stale) structures it had, re-runs Init after its configured offsets,
+// and resumes ticking. It is a no-op if the host is already running and
+// returns ErrClosed after Network.Close. Respawn before Network.Start
+// just revives the host; Start will launch it.
+func (h *Host) Respawn() error {
+	n := h.net
+	for {
+		if n.closed.Load() {
+			return ErrClosed
+		}
+		h.mu.Lock()
+		inc := h.inc
+		running := inc.running
+		h.mu.Unlock()
+		if !inc.dead() {
+			return nil
+		}
+		if running {
+			// Wait for the previous incarnation outside the locks.
+			<-inc.exited
+		}
+		// Discard messages that arrived while the host was down, as a
+		// rebooting UDP host would. Best-effort: a message still in
+		// flight on the wire from the down window can land after the
+		// drain and reach the new incarnation — indistinguishable, to
+		// the protocol, from one sent during the reboot itself.
+		h.drainInbox()
+		n.mu.Lock()
+		if n.closing {
+			n.mu.Unlock()
+			return ErrClosed
+		}
+		h.mu.Lock()
+		if h.inc != inc {
+			// A concurrent Respawn won; re-evaluate from scratch.
+			h.mu.Unlock()
+			n.mu.Unlock()
+			continue
+		}
+		fresh := newIncarnation()
+		h.inc = fresh
+		launch := n.started.Load()
+		if launch {
+			fresh.running = true
+			n.wg.Add(1)
+		}
+		h.mu.Unlock()
+		n.mu.Unlock()
+		if launch {
+			go h.run(fresh)
+		}
+		return nil
+	}
+}
+
+// Pause freezes the host between callbacks: the host goroutine stops
+// draining its inbox and ticks until Resume. It returns once the host is
+// actually parked, so the caller may read the host's protocol state until
+// the matching Resume (the handshake establishes the happens-before
+// edges). Returns false if the host is dead or the network stopped.
+func (h *Host) Pause() bool { return h.control(true) }
+
+// Resume unfreezes a paused host. Returns false if the host is dead or
+// the network stopped. Resuming a host that is not paused is a no-op
+// handshake.
+func (h *Host) Resume() bool { return h.control(false) }
+
+func (h *Host) control(pause bool) bool {
+	c := ctrlMsg{pause: pause, ack: make(chan struct{})}
+	for {
+		h.mu.Lock()
+		inc := h.inc
+		running := inc.running
+		h.mu.Unlock()
+		if !running || inc.dead() {
+			return false
+		}
+		select {
+		case h.ctrl <- c:
+			// Some incarnation received the command (h.ctrl is shared
+			// across incarnations) and closes ack immediately on
+			// receipt, so this wait is short and unconditional —
+			// selecting on a possibly stale inc.exited here could
+			// report a successfully parked host as dead.
+			<-c.ack
+			return true
+		case <-inc.exited:
+			// This incarnation ended; re-evaluate — a concurrent
+			// Respawn may have installed a live one.
+		case <-h.net.stop:
+			return false
+		}
 	}
 }
 
@@ -171,49 +422,77 @@ func (h *Host) Attach(pid proto.ProtoID, p proto.Protocol, period, offset time.D
 	return nil
 }
 
-// ErrClosed is returned by Start after Close.
+// ErrClosed is returned by Start and Respawn after Close.
 var ErrClosed = errors.New("livenet: network closed")
 
-// Start launches every host goroutine and begins ticking.
+// Start launches every live host goroutine and begins ticking.
 func (n *Network) Start() error {
 	if n.closed.Load() {
 		return ErrClosed
 	}
 	n.mu.Lock()
-	n.start = time.Now()
-	hosts := make([]*Host, len(n.hosts))
-	copy(hosts, n.hosts)
-	n.mu.Unlock()
-	for _, h := range hosts {
-		h.started.Store(true)
-		n.wg.Add(1)
-		go h.run()
+	if n.closing {
+		n.mu.Unlock()
+		return ErrClosed
 	}
+	if n.started.Load() {
+		n.mu.Unlock()
+		return errors.New("livenet: network already started")
+	}
+	n.start = time.Now()
+	// Publish started only now, under mu and after n.start is written:
+	// Respawn checks it (under mu) to decide whether to launch, and a
+	// launched goroutine reads n.start in Context.Now.
+	n.started.Store(true)
+	n.wg.Add(1)
+	go n.wire.loop()
+	// Launch hosts while still holding n.mu: every wg.Add must be
+	// ordered before a concurrent Close sets closing and calls wg.Wait
+	// (same discipline Respawn follows), or goroutines could start after
+	// Close has already drained and snapshotted.
+	for _, h := range n.hosts {
+		h.mu.Lock()
+		inc := h.inc
+		if inc.dead() || inc.running {
+			h.mu.Unlock()
+			continue
+		}
+		inc.running = true
+		n.wg.Add(1)
+		h.mu.Unlock()
+		go h.run(inc)
+	}
+	n.mu.Unlock()
 	return nil
 }
 
-// run is the host main loop: Init all protocols (after their offsets),
-// then serve ticks and deliveries until shutdown.
-func (h *Host) run() {
+// run is the host main loop for one incarnation: Init all protocols
+// (after their offsets), then serve ticks, deliveries and pause/resume
+// handshakes until shutdown.
+func (h *Host) run(inc *incarnation) {
 	defer h.net.wg.Done()
-	defer close(h.exited)
+	defer close(inc.exited)
+	h.incarnations.Add(1)
 	// Stagger protocol starts without blocking the mailbox: offsets are
 	// armed as timers that enqueue an init-then-tick sequence.
 	inits := make(chan *binding, len(h.bindings))
+	var timers []*time.Timer
+	var tickers []*time.Ticker
 	for _, b := range h.bindings {
 		b := b
-		h.timers = append(h.timers, time.AfterFunc(b.offset, func() {
+		timers = append(timers, time.AfterFunc(b.offset, func() {
 			select {
 			case inits <- b:
 			case <-h.net.stop:
+			case <-inc.down:
 			}
 		}))
 	}
 	defer func() {
-		for _, t := range h.timers {
+		for _, t := range timers {
 			t.Stop()
 		}
-		for _, t := range h.tickers {
+		for _, t := range tickers {
 			t.Stop()
 		}
 	}()
@@ -221,14 +500,21 @@ func (h *Host) run() {
 		select {
 		case <-h.net.stop:
 			return
-		case <-h.down:
+		case <-inc.down:
 			return
+		case c := <-h.ctrl:
+			close(c.ack)
+			if c.pause {
+				if !h.parked(inc) {
+					return
+				}
+			}
 		case b := <-inits:
 			b.p.Init(hostContext{h: h, pid: b.pid})
 			if b.period > 0 {
 				ticker := time.NewTicker(b.period)
-				h.tickers = append(h.tickers, ticker)
-				go h.forwardTicks(ticker, b)
+				tickers = append(tickers, ticker)
+				go h.forwardTicks(ticker, b, inc)
 			}
 		case cmd := <-h.inbox:
 			h.dispatch(cmd)
@@ -236,18 +522,46 @@ func (h *Host) run() {
 	}
 }
 
-func (h *Host) forwardTicks(t *time.Ticker, b *binding) {
+// parked blocks until Resume, Kill, or network stop. It reports whether
+// the incarnation should keep running.
+func (h *Host) parked(inc *incarnation) bool {
+	for {
+		select {
+		case c := <-h.ctrl:
+			close(c.ack)
+			if !c.pause {
+				return true
+			}
+		case <-inc.down:
+			return false
+		case <-h.net.stop:
+			return false
+		}
+	}
+}
+
+func (h *Host) forwardTicks(t *time.Ticker, b *binding, inc *incarnation) {
 	for {
 		select {
 		case <-h.net.stop:
 			return
+		case <-inc.down:
+			return
 		case <-t.C:
+			if !b.tickQueued.CompareAndSwap(false, true) {
+				continue // a tick is already queued; coalesce
+			}
 			select {
 			case h.inbox <- command{tick: b}:
 			case <-h.net.stop:
+				b.tickQueued.Store(false)
+				return
+			case <-inc.down:
+				b.tickQueued.Store(false)
 				return
 			default:
 				// Inbox full: skip the tick rather than stall.
+				b.tickQueued.Store(false)
 			}
 		}
 	}
@@ -255,26 +569,34 @@ func (h *Host) forwardTicks(t *time.Ticker, b *binding) {
 
 func (h *Host) dispatch(cmd command) {
 	if cmd.tick != nil {
+		cmd.tick.tickQueued.Store(false)
+		h.ticks.Add(1)
 		cmd.tick.p.Tick(hostContext{h: h, pid: cmd.tick.pid})
 		return
 	}
 	p, ok := h.protos[cmd.pid]
 	if !ok {
+		h.net.dropped.Add(1)
 		return
 	}
 	h.net.delivered.Add(1)
+	h.delivered.Add(1)
 	p.Handle(hostContext{h: h, pid: cmd.pid}, cmd.from, cmd.msg)
 }
 
-// send applies the loss and latency models and enqueues the delivery.
+// send applies the fault model and enqueues the delivery, either directly
+// or through the wire for latency.
 func (n *Network) send(from, to peer.Addr, pid proto.ProtoID, msg proto.Message) {
 	n.sent.Add(1)
 	n.mu.Lock()
-	drop := n.cfg.Drop > 0 && n.rng.Float64() < n.cfg.Drop
+	drop := n.drop > 0 && n.rng.Float64() < n.drop
+	if !drop && n.partition != nil && n.partition(from, to) {
+		drop = true
+	}
 	var lat time.Duration
-	if !drop && n.cfg.MaxLatency > 0 {
-		span := int64(n.cfg.MaxLatency - n.cfg.MinLatency)
-		lat = n.cfg.MinLatency
+	if !drop && n.maxLat > 0 {
+		span := int64(n.maxLat - n.minLat)
+		lat = n.minLat
 		if span > 0 {
 			lat += time.Duration(n.rng.Int63n(span + 1))
 		}
@@ -289,40 +611,229 @@ func (n *Network) send(from, to peer.Addr, pid proto.ProtoID, msg proto.Message)
 		n.dropped.Add(1)
 		return
 	}
-	deliver := func() {
+	cmd := command{from: from, pid: pid, msg: msg}
+	if lat <= 0 {
+		n.deliver(dst, cmd)
+		return
+	}
+	n.wire.enqueue(time.Now().Add(lat), dst, cmd)
+}
+
+// deliver places the command in the destination inbox. Messages for dead
+// hosts still enter the inbox while it has room (they are drained as
+// dropped by Kill/Close — checking liveness before every enqueue would
+// race with Kill's drain, and the accounting comes out the same); only
+// when the inbox is full does liveness pick the category, so a dead
+// host's steady-state losses read as Dropped, not inbox pressure.
+func (n *Network) deliver(dst *Host, cmd command) {
+	select {
+	case dst.inbox <- cmd:
+	case <-n.stop:
+		n.dropped.Add(1)
+	default:
 		if dst.Stopped() {
 			n.dropped.Add(1)
 			return
 		}
-		select {
-		case dst.inbox <- command{from: from, pid: pid, msg: msg}:
-		case <-n.stop:
-		default:
-			n.overflow.Add(1)
-		}
+		n.overflow.Add(1)
+		dst.overflow.Add(1)
 	}
-	if lat <= 0 {
-		deliver()
-		return
-	}
-	time.AfterFunc(lat, deliver)
 }
 
-// Close stops all hosts and waits for them to exit. It is idempotent.
+// wire models propagation delay: a single goroutine holds a min-heap of
+// in-flight messages ordered by delivery time. Replacing per-message
+// time.AfterFunc keeps shutdown deterministic — Close drains the heap and
+// counts stranded messages as dropped — and scales to 10k+ hosts without
+// spawning a timer goroutine per message.
+type wire struct {
+	net  *Network
+	mu   sync.Mutex
+	heap flightHeap
+	wake chan struct{}
+}
+
+type flight struct {
+	at  time.Time
+	dst *Host
+	cmd command
+}
+
+type flightHeap []flight
+
+func (h flightHeap) Len() int            { return len(h) }
+func (h flightHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
+func (h flightHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *flightHeap) Push(x interface{}) { *h = append(*h, x.(flight)) }
+func (h *flightHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	f := old[n-1]
+	old[n-1] = flight{}
+	*h = old[:n-1]
+	return f
+}
+
+func newWire(n *Network) *wire {
+	return &wire{net: n, wake: make(chan struct{}, 1)}
+}
+
+func (w *wire) enqueue(at time.Time, dst *Host, cmd command) {
+	w.mu.Lock()
+	heap.Push(&w.heap, flight{at: at, dst: dst, cmd: cmd})
+	first := w.heap[0].at == at
+	w.mu.Unlock()
+	if first {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// loop delivers in-flight messages when due. It exits on network stop;
+// Close then drains what remains.
+func (w *wire) loop() {
+	defer w.net.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		w.mu.Lock()
+		now := time.Now()
+		for len(w.heap) > 0 && !w.heap[0].at.After(now) {
+			f := heap.Pop(&w.heap).(flight)
+			w.mu.Unlock()
+			w.net.deliver(f.dst, f.cmd)
+			w.mu.Lock()
+		}
+		var next time.Duration = time.Hour
+		if len(w.heap) > 0 {
+			next = time.Until(w.heap[0].at)
+		}
+		w.mu.Unlock()
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(next)
+		select {
+		case <-w.net.stop:
+			return
+		case <-w.wake:
+		case <-timer.C:
+		}
+	}
+}
+
+// drain counts every message still in flight as dropped. Only called
+// after the loop goroutine has exited.
+func (w *wire) drain() {
+	w.mu.Lock()
+	n := len(w.heap)
+	w.heap = nil
+	w.mu.Unlock()
+	w.net.dropped.Add(int64(n))
+}
+
+// Close stops all hosts, waits for them to exit, and settles the traffic
+// accounting: in-flight and queued-but-undispatched messages are counted
+// as dropped, so the conservation law documented on Stats holds. It is
+// idempotent.
 func (n *Network) Close() {
 	if n.closed.Swap(true) {
 		return
 	}
+	n.mu.Lock()
+	n.closing = true
+	n.mu.Unlock()
 	close(n.stop)
 	n.wg.Wait()
+	if n.started.Load() {
+		n.wire.drain()
+	}
+	n.mu.Lock()
+	hosts := n.hosts
+	n.mu.Unlock()
+	for _, h := range hosts {
+		h.drainInbox()
+	}
 }
 
-// Stats returns a snapshot of the traffic counters.
-func (n *Network) Stats() Stats {
-	return Stats{
-		Sent:      n.sent.Load(),
+// PauseAll pauses every live host, in parallel, and returns once all of
+// them are parked. Combined with ResumeAll it brackets a consistent
+// whole-network measurement without stopping the clock.
+func (n *Network) PauseAll() { n.controlAll(true) }
+
+// ResumeAll resumes every live host.
+func (n *Network) ResumeAll() { n.controlAll(false) }
+
+func (n *Network) controlAll(pause bool) {
+	n.mu.Lock()
+	hosts := make([]*Host, len(n.hosts))
+	copy(hosts, n.hosts)
+	n.mu.Unlock()
+	// The handshakes are wait-bound (each blocks until the target host
+	// goroutine gets scheduled), not CPU-bound, so fan out far wider
+	// than GOMAXPROCS: with serial handshakes a loaded scheduler pays
+	// one full scheduling round-trip per host, which at thousands of
+	// hosts turns a measurement barrier into seconds.
+	workers := 256
+	if workers > len(hosts) {
+		workers = len(hosts)
+	}
+	if workers < 1 {
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan *Host, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for h := range next {
+				h.control(pause)
+			}
+		}()
+	}
+	for _, h := range hosts {
+		next <- h
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Snapshot returns a consistent snapshot of the traffic counters: the
+// four counters are re-read until two consecutive passes agree, so a
+// mid-run snapshot is a plausible cut of the counter stream rather than
+// four unrelated instants. At quiescence (after Close) it is exact and
+// satisfies Sent == Delivered + Dropped + Overflow.
+func (n *Network) Snapshot() Stats {
+	prev := n.readStats()
+	for i := 0; i < 8; i++ {
+		cur := n.readStats()
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
+}
+
+func (n *Network) readStats() Stats {
+	// Sent is read last: every message is counted sent before it can be
+	// counted delivered/dropped/overflowed, so with monotonic counters
+	// this ordering guarantees Delivered+Dropped+Overflow <= Sent even
+	// for a torn read — a snapshot can undercount outcomes, never show
+	// more outcomes than sends.
+	st := Stats{
 		Dropped:   n.dropped.Load(),
 		Delivered: n.delivered.Load(),
 		Overflow:  n.overflow.Load(),
 	}
+	st.Sent = n.sent.Load()
+	return st
 }
+
+// Stats returns a snapshot of the traffic counters; see Snapshot.
+func (n *Network) Stats() Stats { return n.Snapshot() }

@@ -1,0 +1,106 @@
+package livenet
+
+import (
+	"strings"
+	"testing"
+)
+
+// goldenChurn pins the churn fault plan for seed 42, n=100, cycles=30.
+// The schedule — not the message interleaving — is the reproducible part
+// of a live campaign; regenerate deliberately if the generator changes.
+const goldenChurn = `@5 kill frac=0.052
+@7 respawn
+@11 kill frac=0.141
+@13 respawn
+@18 kill frac=0.125
+@20 respawn
+@23 kill frac=0.150
+@25 respawn
+`
+
+const goldenPartition = `@10 partition split=54
+@20 heal
+`
+
+func TestLiveScenarioGoldenSchedule(t *testing.T) {
+	got := TraceSchedule(ScenarioChurn.Events(42, 100, 30))
+	if got != goldenChurn {
+		t.Errorf("churn schedule for seed 42 drifted:\ngot:\n%swant:\n%s", got, goldenChurn)
+	}
+	got = TraceSchedule(ScenarioPartition.Events(42, 100, 30))
+	if got != goldenPartition {
+		t.Errorf("partition schedule for seed 42 drifted:\ngot:\n%swant:\n%s", got, goldenPartition)
+	}
+}
+
+func TestLiveScenarioDeterminism(t *testing.T) {
+	for _, s := range Builtins() {
+		for _, seed := range []int64{1, 42, 7919} {
+			a := TraceSchedule(s.Events(seed, 256, 40))
+			b := TraceSchedule(s.Events(seed, 256, 40))
+			if a != b {
+				t.Errorf("scenario %s seed %d: schedule not deterministic:\n%s\nvs\n%s", s.Name, seed, a, b)
+			}
+		}
+	}
+}
+
+func TestLiveScenarioSeedSensitivity(t *testing.T) {
+	// The jittered scenarios must actually vary across seeds; otherwise
+	// a multi-trial campaign replays one fault plan N times.
+	for _, s := range []Scenario{ScenarioChurn, ScenarioLatency} {
+		a := TraceSchedule(s.Events(1, 256, 40))
+		b := TraceSchedule(s.Events(2, 256, 40))
+		if a == b {
+			t.Errorf("scenario %s: seeds 1 and 2 yield the identical schedule", s.Name)
+		}
+	}
+}
+
+func TestLiveScenarioEventsSorted(t *testing.T) {
+	// Short runs included: generators whose raw plans overrun the
+	// campaign (drop ramps, partition heals) must come back clipped, or
+	// the runner's convergence condition (cycle > last event) would be
+	// unreachable.
+	for _, cycles := range []int{6, 12, 60} {
+		for _, s := range Builtins() {
+			for seed := int64(0); seed < 20; seed++ {
+				evs := s.Events(seed, 512, cycles)
+				for i := 1; i < len(evs); i++ {
+					if evs[i].Cycle < evs[i-1].Cycle {
+						t.Errorf("scenario %s: events out of order at %d: %s after %s", s.Name, i, evs[i], evs[i-1])
+					}
+				}
+				for _, e := range evs {
+					if e.Cycle < 0 || e.Cycle >= cycles {
+						t.Errorf("scenario %s cycles=%d seed=%d: event outside the run: %s", s.Name, cycles, seed, e)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLiveParseScenario(t *testing.T) {
+	for _, s := range Builtins() {
+		got, err := ParseScenario(s.Name)
+		if err != nil {
+			t.Fatalf("ParseScenario(%q): %v", s.Name, err)
+		}
+		if got.Name != s.Name {
+			t.Errorf("ParseScenario(%q) resolved to %q", s.Name, got.Name)
+		}
+	}
+	if _, err := ParseScenario("nope"); err == nil {
+		t.Error("ParseScenario accepted an unknown name")
+	}
+	if !strings.Contains(ScenarioNone.Name, "none") {
+		t.Error("ScenarioNone misnamed")
+	}
+}
+
+func TestLiveScenarioNoneEmpty(t *testing.T) {
+	if evs := ScenarioNone.Events(42, 100, 30); len(evs) != 0 {
+		t.Errorf("none scenario scheduled %d events", len(evs))
+	}
+}

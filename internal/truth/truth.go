@@ -184,7 +184,13 @@ func (t *Truth) PerfectLeafSet(self id.ID) []id.ID {
 // LeafSetMissingFor returns how many entries of the perfect leaf set for
 // self are absent from ls, and the perfect total.
 func (t *Truth) LeafSetMissingFor(self id.ID, ls *core.LeafSet) (missing, total int) {
-	perfect := t.PerfectLeafSet(self)
+	return LeafSetMissingWith(t.PerfectLeafSet(self), ls)
+}
+
+// LeafSetMissingWith is LeafSetMissingFor against a precomputed perfect
+// leaf set — callers measuring every cycle cache PerfectLeafSet per
+// membership epoch instead of re-deriving it per node per cycle.
+func LeafSetMissingWith(perfect []id.ID, ls *core.LeafSet) (missing, total int) {
 	for _, v := range perfect {
 		if !ls.Contains(v) {
 			missing++
@@ -256,7 +262,12 @@ func (t *Truth) PrefixMissingFor(self id.ID, pt *core.PrefixTable) (missing, tot
 // descriptors of departed nodes do not mask real gaps. In a failure-free
 // run it agrees with PrefixMissingFor exactly.
 func (t *Truth) PrefixMissingLive(self id.ID, pt *core.PrefixTable) (missing, total, dead int) {
-	expected := t.ExpectedSlotCounts(self)
+	return t.PrefixMissingLiveWith(t.ExpectedSlotCounts(self), pt)
+}
+
+// PrefixMissingLiveWith is PrefixMissingLive against precomputed expected
+// slot counts (see LeafSetMissingWith for the rationale).
+func (t *Truth) PrefixMissingLiveWith(expected [][]int, pt *core.PrefixTable) (missing, total, dead int) {
 	live := make(map[int]map[int]int, len(expected))
 	pt.Each(func(row, col int, d peer.Descriptor) bool {
 		if _, ok := t.pos[d.ID]; ok {
