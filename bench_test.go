@@ -378,8 +378,8 @@ type pingProto struct{ target peer.Addr }
 
 type emptyMsg struct{}
 
-func (p *pingProto) Init(ctx proto.Context) {}
-func (p *pingProto) Tick(ctx proto.Context) { ctx.Send(p.target, emptyMsg{}) }
+func (p *pingProto) Init(ctx proto.Context)                                      {}
+func (p *pingProto) Tick(ctx proto.Context)                                      { ctx.Send(p.target, emptyMsg{}) }
 func (p *pingProto) Handle(ctx proto.Context, from peer.Addr, msg proto.Message) {}
 
 // BenchmarkRunTrials measures the multi-trial experiment runner at
@@ -409,11 +409,89 @@ func BenchmarkRunTrials(b *testing.B) {
 func BenchmarkTruthBuild(b *testing.B) {
 	_, ids := benchWorld(1<<14, 7)
 	cfg := core.DefaultConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := truth.New(ids, cfg.B, cfg.K, cfg.C); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTruthUpdateChurn measures one churn cycle applied to the
+// incremental oracle — 1% of a 2^14 membership replaced per iteration —
+// the operation that used to be a full truth.New rebuild per measured
+// cycle. Compare ns/op and allocs/op against BenchmarkTruthBuild: the
+// whole point of the incremental oracle is that this is a rounding error
+// next to a rebuild.
+func BenchmarkTruthUpdateChurn(b *testing.B) {
+	const n = 1 << 14
+	const churn = n / 100
+	gen := id.NewGenerator(26)
+	ids := make([]id.ID, n)
+	for i := range ids {
+		ids[i] = gen.Next()
+	}
+	cfg := core.DefaultConfig()
+	tr, err := truth.New(ids, cfg.B, cfg.K, cfg.C)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(27))
+	removed := make([]id.ID, churn)
+	added := make([]id.ID, churn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < churn; j++ {
+			k := rng.Intn(len(ids))
+			removed[j] = ids[k]
+			ids[k] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+		}
+		for j := range added {
+			added[j] = gen.Next()
+		}
+		if err := tr.Update(added, removed); err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, added...)
+	}
+}
+
+// BenchmarkTruthMeasureAll measures a full-network convergence measurement
+// at N=2^14 over realistic mid-convergence node state, sharded across a
+// worker pool. The workers=1 case is the serial baseline; the speedup at
+// workers=4 is the acceptance figure for the sharded measurement plane
+// (the result itself is bit-identical across worker counts).
+func BenchmarkTruthMeasureAll(b *testing.B) {
+	const n = 1 << 14
+	descs, ids := benchWorld(n, 25)
+	cfg := core.DefaultConfig()
+	tr, err := truth.New(ids, cfg.B, cfg.K, cfg.C)
+	if err != nil {
+		b.Fatal(err)
+	}
+	members := make([]truth.Member, n)
+	for i := range members {
+		ls := core.NewLeafSet(ids[i], cfg.C)
+		lo := i % (n - 40)
+		ls.Update(descs[lo : lo+40])
+		pt := core.NewPrefixTable(ids[i], cfg.B, cfg.K)
+		start := (i * 131) % (n - 256)
+		pt.AddAll(descs[start : start+256])
+		members[i] = truth.Member{Self: ids[i], Leaf: ls, Table: pt}
+	}
+	ref := tr.MeasureAll(members, 1)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if agg := tr.MeasureAll(members, workers); agg != ref {
+					b.Fatalf("aggregate diverged across worker counts: %+v != %+v", agg, ref)
+				}
+			}
+		})
 	}
 }
 

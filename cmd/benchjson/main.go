@@ -1,0 +1,102 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array on stdout, one object per benchmark result line. It exists so CI
+// can publish machine-readable benchmark artifacts (BENCH_<pr>.json) and
+// the perf trajectory of the hot paths can be tracked across PRs without
+// scraping text logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH.json
+//
+// Standard metrics (ns/op, B/op, allocs/op) become fields; any custom
+// b.ReportMetric units land in the "metrics" map verbatim.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// NsPerOp, BytesPerOp and AllocsOp are emitted even when zero: a
+	// 0 allocs/op reading is precisely the datum the perf trajectory
+	// tracks (CI always runs the benches with -benchmem).
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp int64              `json:"bytes_per_op"`
+	AllocsOp   int64              `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	var results []Result
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		// Zero parsed lines means the bench run failed or the filter
+		// regex drifted; a silent empty artifact would stop the perf
+		// trajectory from being tracked without anyone noticing.
+		return fmt.Errorf("no benchmark result lines found in input")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// parseLine parses one `Benchmark...` result line of go test output:
+//
+//	BenchmarkFoo/sub-8   1234   5678 ns/op   90 B/op   1 allocs/op   2.5 cycles
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	// The remainder is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+		case "B/op":
+			r.BytesPerOp = int64(val)
+		case "allocs/op":
+			r.AllocsOp = int64(val)
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	return r, true
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkCreateMessageViaTick \t    5000\t     17580 ns/op\t       5 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkCreateMessageViaTick" || r.Iterations != 5000 ||
+		r.NsPerOp != 17580 || r.BytesPerOp != 5 || r.AllocsOp != 0 {
+		t.Errorf("parsed %+v", r)
+	}
+
+	r, ok = parseLine("BenchmarkFig3Convergence/N=1024-8   3   123456 ns/op   9.33 cycles")
+	if !ok {
+		t.Fatal("line with custom metric not parsed")
+	}
+	if r.Metrics["cycles"] != 9.33 {
+		t.Errorf("custom metric = %v, want 9.33", r.Metrics)
+	}
+
+	for _, junk := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  	repro	6.173s",
+		"BenchmarkBroken notanumber ns/op",
+	} {
+		if _, ok := parseLine(junk); ok {
+			t.Errorf("junk line parsed: %q", junk)
+		}
+	}
+}
+
+func TestRunEmitsJSONArray(t *testing.T) {
+	in := strings.NewReader(`goos: linux
+BenchmarkEventLoop 	    2000	     81688 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTruthMeasureAll/workers=4         	      20	  64797915 ns/op	 1857168 B/op	   65694 allocs/op
+PASS
+`)
+	var out strings.Builder
+	if err := run(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal([]byte(out.String()), &results); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	if results[1].Name != "BenchmarkTruthMeasureAll/workers=4" {
+		t.Errorf("second result = %+v", results[1])
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	// Benchmark-free input (a failed run's error text, a drifted CI
+	// filter) must be an error, not a silent null artifact.
+	var out strings.Builder
+	if err := run(strings.NewReader("some error text\nFAIL\n"), &out); err == nil {
+		t.Error("input without benchmark lines accepted")
+	}
+}

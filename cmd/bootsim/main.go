@@ -34,50 +34,53 @@ func main() {
 }
 
 type options struct {
-	experiment string
-	sizes      []int
-	cycles     int
-	drop       float64
-	seed       int64
-	sampler    experiment.SamplerKind
-	warmup     int
-	runs       int
-	trials     int
-	workers    int
-	cfg        core.Config
+	experiment     string
+	sizes          []int
+	cycles         int
+	drop           float64
+	seed           int64
+	sampler        experiment.SamplerKind
+	warmup         int
+	runs           int
+	trials         int
+	workers        int
+	measureWorkers int
+	cfg            core.Config
 }
 
 func parseArgs(args []string) (*options, error) {
 	fs := flag.NewFlagSet("bootsim", flag.ContinueOnError)
 	var (
-		expName = fs.String("experiment", "fig3", "fig3|fig4|churn|scaling|ablation|chord")
-		nList   = fs.String("n", "1024,4096,16384", "comma-separated network sizes")
-		paper   = fs.Bool("paper", false, "use the paper's sizes 2^14,2^16,2^18 (slow, memory-hungry)")
-		cycles  = fs.Int("cycles", 0, "max cycles (0 = per-experiment default)")
-		drop    = fs.Float64("drop", -1, "message drop probability (-1 = per-experiment default)")
-		seed    = fs.Int64("seed", 42, "random seed")
-		sampler = fs.String("sampler", "oracle", "oracle|newscast")
-		warmup  = fs.Int("warmup", 10, "newscast warmup cycles before bootstrap starts")
-		runs    = fs.Int("runs", 1, "independent repetitions per size")
-		trials  = fs.Int("trials", 1, "independent seeds aggregated per size (mean/min/max series)")
-		workers = fs.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
-		b       = fs.Int("b", core.DefaultB, "bits per digit")
-		k       = fs.Int("k", core.DefaultK, "entries per prefix-table slot")
-		c       = fs.Int("c", core.DefaultC, "leaf set size")
-		cr      = fs.Int("cr", core.DefaultCR, "random samples per message")
+		expName  = fs.String("experiment", "fig3", "fig3|fig4|churn|scaling|ablation|chord")
+		nList    = fs.String("n", "1024,4096,16384", "comma-separated network sizes")
+		paper    = fs.Bool("paper", false, "use the paper's sizes 2^14,2^16,2^18 (slow, memory-hungry)")
+		cycles   = fs.Int("cycles", 0, "max cycles (0 = per-experiment default)")
+		drop     = fs.Float64("drop", -1, "message drop probability (-1 = per-experiment default)")
+		seed     = fs.Int64("seed", 42, "random seed")
+		sampler  = fs.String("sampler", "oracle", "oracle|newscast")
+		warmup   = fs.Int("warmup", 10, "newscast warmup cycles before bootstrap starts")
+		runs     = fs.Int("runs", 1, "independent repetitions per size")
+		trials   = fs.Int("trials", 1, "independent seeds aggregated per size (mean/min/max series)")
+		workers  = fs.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		measureW = fs.Int("measure-workers", 0, "goroutines sharding the per-cycle ground-truth measurement (0 = GOMAXPROCS; output is identical for any value)")
+		b        = fs.Int("b", core.DefaultB, "bits per digit")
+		k        = fs.Int("k", core.DefaultK, "entries per prefix-table slot")
+		c        = fs.Int("c", core.DefaultC, "leaf set size")
+		cr       = fs.Int("cr", core.DefaultCR, "random samples per message")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	o := &options{
-		experiment: *expName,
-		cycles:     *cycles,
-		drop:       *drop,
-		seed:       *seed,
-		warmup:     *warmup,
-		runs:       *runs,
-		trials:     *trials,
-		workers:    *workers,
+		experiment:     *expName,
+		cycles:         *cycles,
+		drop:           *drop,
+		seed:           *seed,
+		warmup:         *warmup,
+		runs:           *runs,
+		trials:         *trials,
+		workers:        *workers,
+		measureWorkers: *measureW,
 		cfg: core.Config{
 			B: *b, K: *k, C: *c, CR: *cr, Delta: core.DefaultDelta,
 		},
@@ -105,6 +108,9 @@ func parseArgs(args []string) (*options, error) {
 	}
 	if o.workers < 0 {
 		return nil, fmt.Errorf("-workers must not be negative, got %d", o.workers)
+	}
+	if o.measureWorkers < 0 {
+		return nil, fmt.Errorf("-measure-workers must not be negative, got %d", o.measureWorkers)
 	}
 	if o.trials > 1 {
 		if o.experiment != "fig3" && o.experiment != "fig4" {
@@ -168,13 +174,14 @@ func runConvergence(o *options, out io.Writer, drop float64, label string) error
 	for _, n := range o.sizes {
 		for rep := 0; rep < o.runs; rep++ {
 			res, err := experiment.Run(experiment.Params{
-				N:            n,
-				Seed:         o.seed + int64(rep)*7919,
-				Config:       o.cfg,
-				Drop:         drop,
-				MaxCycles:    o.maxCycles(def),
-				Sampler:      o.sampler,
-				WarmupCycles: o.warmup,
+				N:              n,
+				Seed:           o.seed + int64(rep)*7919,
+				Config:         o.cfg,
+				Drop:           drop,
+				MaxCycles:      o.maxCycles(def),
+				Sampler:        o.sampler,
+				WarmupCycles:   o.warmup,
+				MeasureWorkers: o.measureWorkers,
 			})
 			if err != nil {
 				return err
@@ -196,12 +203,13 @@ func runConvergence(o *options, out io.Writer, drop float64, label string) error
 func runConvergenceTrials(o *options, out io.Writer, drop float64, defCycles int) error {
 	for _, n := range o.sizes {
 		res, err := experiment.RunTrials(experiment.Params{
-			N:            n,
-			Config:       o.cfg,
-			Drop:         drop,
-			MaxCycles:    o.maxCycles(defCycles),
-			Sampler:      o.sampler,
-			WarmupCycles: o.warmup,
+			N:              n,
+			Config:         o.cfg,
+			Drop:           drop,
+			MaxCycles:      o.maxCycles(defCycles),
+			Sampler:        o.sampler,
+			WarmupCycles:   o.warmup,
+			MeasureWorkers: o.measureWorkers,
 		}, experiment.Seeds(o.seed, o.trials), o.workers)
 		if err != nil {
 			return err
@@ -249,14 +257,15 @@ func runMassJoin(o *options, out io.Writer) error {
 	fmt.Fprintf(out, "# experiment=massjoin sampler=%s double at cycle 10\n", o.sampler)
 	for _, n := range o.sizes {
 		res, err := experiment.Run(experiment.Params{
-			N:            n,
-			Seed:         o.seed,
-			Config:       o.cfg,
-			Drop:         maxF(o.drop, 0),
-			MaxCycles:    o.maxCycles(60),
-			Sampler:      o.sampler,
-			WarmupCycles: o.warmup,
-			Join:         experiment.Join{Cycle: 10, Count: n},
+			N:              n,
+			Seed:           o.seed,
+			Config:         o.cfg,
+			Drop:           maxF(o.drop, 0),
+			MaxCycles:      o.maxCycles(60),
+			Sampler:        o.sampler,
+			WarmupCycles:   o.warmup,
+			MeasureWorkers: o.measureWorkers,
+			Join:           experiment.Join{Cycle: 10, Count: n},
 		})
 		if err != nil {
 			return err
@@ -277,13 +286,14 @@ func runScaling(o *options, out io.Writer) error {
 	for _, n := range o.sizes {
 		for rep := 0; rep < o.runs; rep++ {
 			res, err := experiment.Run(experiment.Params{
-				N:            n,
-				Seed:         o.seed + int64(rep)*104729,
-				Config:       o.cfg,
-				Drop:         maxF(o.drop, 0),
-				MaxCycles:    o.maxCycles(60),
-				Sampler:      o.sampler,
-				WarmupCycles: o.warmup,
+				N:              n,
+				Seed:           o.seed + int64(rep)*104729,
+				Config:         o.cfg,
+				Drop:           maxF(o.drop, 0),
+				MaxCycles:      o.maxCycles(60),
+				Sampler:        o.sampler,
+				WarmupCycles:   o.warmup,
+				MeasureWorkers: o.measureWorkers,
 			})
 			if err != nil {
 				return err
@@ -315,13 +325,14 @@ func runAblation(o *options, out io.Writer) error {
 			cfg := o.cfg
 			v.mut(&cfg)
 			res, err := experiment.Run(experiment.Params{
-				N:            n,
-				Seed:         o.seed,
-				Config:       cfg,
-				Drop:         maxF(o.drop, 0),
-				MaxCycles:    o.maxCycles(60),
-				Sampler:      o.sampler,
-				WarmupCycles: o.warmup,
+				N:              n,
+				Seed:           o.seed,
+				Config:         cfg,
+				Drop:           maxF(o.drop, 0),
+				MaxCycles:      o.maxCycles(60),
+				Sampler:        o.sampler,
+				WarmupCycles:   o.warmup,
+				MeasureWorkers: o.measureWorkers,
 			})
 			if err != nil {
 				return err

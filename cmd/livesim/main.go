@@ -12,6 +12,8 @@
 //	-n int          network size (hosts) (default 1024)
 //	-trials int     independent trials, each with its own seed (default 4)
 //	-workers int    concurrent trials; 0 = GOMAXPROCS (default 0)
+//	-measure-workers int  goroutines sharding the paused-world
+//	                measurement; 0 = GOMAXPROCS (default 0)
 //	-scenario name  none|churn|partition|drop|latency (default "churn")
 //	-drop float     initial per-message loss probability (default 0)
 //	-latency dur    max delivery latency; min is latency/4 (default 0)
@@ -53,16 +55,17 @@ func main() {
 }
 
 type options struct {
-	n        int
-	trials   int
-	workers  int
-	scenario livenet.Scenario
-	drop     float64
-	latency  time.Duration
-	period   time.Duration
-	cycles   int
-	seed     int64
-	inbox    int
+	n              int
+	trials         int
+	workers        int
+	measureWorkers int
+	scenario       livenet.Scenario
+	drop           float64
+	latency        time.Duration
+	period         time.Duration
+	cycles         int
+	seed           int64
+	inbox          int
 }
 
 func parseArgs(args []string) (*options, error) {
@@ -71,6 +74,7 @@ func parseArgs(args []string) (*options, error) {
 		n        = fs.Int("n", 1024, "network size (hosts)")
 		trials   = fs.Int("trials", 4, "independent trials")
 		workers  = fs.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
+		measureW = fs.Int("measure-workers", 0, "goroutines sharding the paused-world measurement (0 = GOMAXPROCS)")
 		scenario = fs.String("scenario", "churn", "none|churn|partition|drop|latency")
 		drop     = fs.Float64("drop", 0, "initial per-message loss probability")
 		latency  = fs.Duration("latency", 0, "max delivery latency (min is latency/4)")
@@ -83,15 +87,16 @@ func parseArgs(args []string) (*options, error) {
 		return nil, err
 	}
 	o := &options{
-		n:       *n,
-		trials:  *trials,
-		workers: *workers,
-		drop:    *drop,
-		latency: *latency,
-		period:  *period,
-		cycles:  *cycles,
-		seed:    *seed,
-		inbox:   *inbox,
+		n:              *n,
+		trials:         *trials,
+		workers:        *workers,
+		measureWorkers: *measureW,
+		drop:           *drop,
+		latency:        *latency,
+		period:         *period,
+		cycles:         *cycles,
+		seed:           *seed,
+		inbox:          *inbox,
 	}
 	var err error
 	if o.scenario, err = livenet.ParseScenario(*scenario); err != nil {
@@ -103,6 +108,9 @@ func parseArgs(args []string) (*options, error) {
 	if o.workers < 0 {
 		return nil, fmt.Errorf("-workers must not be negative, got %d", o.workers)
 	}
+	if o.measureWorkers < 0 {
+		return nil, fmt.Errorf("-measure-workers must not be negative, got %d", o.measureWorkers)
+	}
 	return o, nil
 }
 
@@ -112,15 +120,16 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	p := experiment.LiveParams{
-		N:          o.n,
-		Config:     core.DefaultConfig(),
-		Period:     o.period,
-		Cycles:     o.cycles,
-		Drop:       o.drop,
-		MinLatency: o.latency / 4,
-		MaxLatency: o.latency,
-		InboxSize:  o.inbox,
-		Scenario:   o.scenario,
+		N:              o.n,
+		Config:         core.DefaultConfig(),
+		Period:         o.period,
+		Cycles:         o.cycles,
+		Drop:           o.drop,
+		MinLatency:     o.latency / 4,
+		MaxLatency:     o.latency,
+		InboxSize:      o.inbox,
+		Scenario:       o.scenario,
+		MeasureWorkers: o.measureWorkers,
 		// Scenarios disturb the network mid-run; keep measuring the
 		// recovery tail instead of exiting on first perfection.
 		KeepRunningAfterPerfect: o.scenario.Schedule != nil,

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/peer"
+	"repro/internal/sampling"
+)
+
+// msgSnapshot is a deep copy of a message's logical content, with nil and
+// empty slices identified (pooling legitimately turns a nil Dead into an
+// empty one).
+type msgSnapshot struct {
+	sender  peer.Descriptor
+	request bool
+	entries []peer.Descriptor
+	dead    int
+}
+
+func snapshot(m *Message) msgSnapshot {
+	return msgSnapshot{
+		sender:  m.Sender,
+		request: m.Request,
+		entries: append([]peer.Descriptor{}, m.Entries...),
+		dead:    len(m.Dead),
+	}
+}
+
+// TestMessagePoolEquivalence drives two identically seeded nodes through
+// the same exchange sequence; one node's outgoing messages are recycled
+// back into the pool immediately (the engine's steady state), the other's
+// never are. Every message pair must be content-identical: pooling is a
+// storage optimisation and may not leak a previous message's bytes into
+// the next, nor let scratch state alias a recycled arena.
+func TestMessagePoolEquivalence(t *testing.T) {
+	world := make([]peer.Descriptor, 96)
+	for i := range world {
+		world[i] = peer.Descriptor{ID: testID(i), Addr: peer.Addr(int32(i))}
+	}
+	build := func() *Node {
+		cfg := testConfig()
+		cfg.EvictAfterMisses = 2 // exercise the Dead arena too
+		n, err := NewNode(world[0], cfg, sampling.Fixed(world[2:12]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Leaf().Update(world[12:40])
+		n.Table().AddAll(world[40:])
+		return n
+	}
+	recycled, pristine := build(), build()
+
+	feed := func(n *Node, from peer.Descriptor, entries []peer.Descriptor) {
+		m := &Message{Sender: from, Entries: append([]peer.Descriptor{}, entries...)}
+		n.Handle(nil, from.Addr, m) // Request is false: no reply, ctx unused
+	}
+	for i := 0; i < 64; i++ {
+		dest := world[1+(i%40)]
+		// Interleave inbound gossip so the nodes' structures keep
+		// changing between constructions.
+		feed(recycled, world[50+(i%30)], world[i%64:i%64+8])
+		feed(pristine, world[50+(i%30)], world[i%64:i%64+8])
+
+		mr := recycled.createMessage(dest, i%2 == 0)
+		mp := pristine.createMessage(dest, i%2 == 0)
+		sr, sp := snapshot(mr), snapshot(mp)
+		if !reflect.DeepEqual(sr, sp) {
+			t.Fatalf("round %d: recycling changed message content:\n got %+v\nwant %+v", i, sr, sp)
+		}
+		mr.Recycle() // back to the pool; the next round reuses the arena
+	}
+}

@@ -113,12 +113,18 @@ func (t *PrefixTable) Each(fn func(row, col int, d peer.Descriptor) bool) {
 
 // Entries returns all table entries as a fresh slice.
 func (t *PrefixTable) Entries() []peer.Descriptor {
-	out := make([]peer.Descriptor, 0, t.Len())
-	t.Each(func(_, _ int, d peer.Descriptor) bool {
-		out = append(out, d)
-		return true
-	})
-	return out
+	return t.AppendEntries(make([]peer.Descriptor, 0, t.Len()))
+}
+
+// AppendEntries appends all table entries to dst, row by row — the
+// allocation-free variant of Entries for hot paths with a scratch buffer.
+func (t *PrefixTable) AppendEntries(dst []peer.Descriptor) []peer.Descriptor {
+	for _, row := range t.rows {
+		for _, slot := range row {
+			dst = append(dst, slot...)
+		}
+	}
+	return dst
 }
 
 // SlotCounts returns, for each row, the number of entries per column.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/id"
 	"repro/internal/peer"
@@ -24,6 +25,13 @@ const ProtoID proto.ProtoID = 2
 // receiver may read but must not rewrite the slices in place, because an
 // engine that fans one message out to several receivers (broadcast,
 // livenet) shares the backing arrays between deliveries.
+//
+// Messages travel as *Message and are pooled: the protocol sends pointers
+// (boxing a pointer into the proto.Message interface allocates nothing)
+// and implements proto.Recyclable, so an engine that retires a delivered
+// or dropped message returns it — entries arena included — to the pool for
+// the next createMessage. Code that keeps a message beyond Handle (tests,
+// ad-hoc tooling) simply never recycles it, which is always safe.
 type Message struct {
 	Sender  peer.Descriptor
 	Entries []peer.Descriptor
@@ -38,6 +46,24 @@ type Message struct {
 // WireSize reports the message size in descriptor units (the entries plus
 // the sender descriptor; certificates are half a descriptor each).
 func (m Message) WireSize() int { return len(m.Entries) + 1 + (len(m.Dead)+1)/2 }
+
+// messagePool recycles Message values together with their Entries/Dead
+// backing arrays — the pooled entries arena that removes the per-send
+// slice allocation from the tick hot path.
+var messagePool = sync.Pool{New: func() any { return new(Message) }}
+
+var _ proto.Recyclable = (*Message)(nil)
+
+// Recycle implements proto.Recyclable: the message returns to the shared
+// pool and its backing arrays become the arena for a future send. Only an
+// engine may call it, exactly once, once the message is fully retired.
+func (m *Message) Recycle() {
+	m.Sender = peer.Descriptor{}
+	m.Request = false
+	m.Entries = m.Entries[:0]
+	m.Dead = m.Dead[:0]
+	messagePool.Put(m)
+}
 
 // maxCertificates caps the death certificates attached per message.
 const maxCertificates = 32
@@ -65,12 +91,19 @@ type Node struct {
 	tombs    map[id.ID]int64
 	ticks    int64
 
-	// scratchUnion and scratchSel are reused across createMessage calls so
-	// steady-state message construction allocates only the entries slice it
-	// ships. Safe because each node's callbacks run serialised (simnet is
+	// appendSampler is the sampler's allocation-free fast path, resolved
+	// once at construction (nil when the sampler doesn't offer one).
+	appendSampler sampling.AppendSampler
+
+	// scratchUnion, scratchSel, scratchSample and scratchTable are reused
+	// across createMessage calls so steady-state message construction
+	// allocates nothing: the shipped entries live in a pooled message's
+	// arena. Safe because each node's callbacks run serialised (simnet is
 	// single-threaded; livenet drives each host from one dispatch loop).
-	scratchUnion *peer.Set
-	scratchSel   []peer.Descriptor
+	scratchUnion  *peer.Set
+	scratchSel    []peer.Descriptor
+	scratchSample []peer.Descriptor
+	scratchTable  []peer.Descriptor
 }
 
 // tombstoneTTL is how many ticks an evicted peer stays blacklisted. A
@@ -83,23 +116,24 @@ const tombstoneTTL = 20
 // entries outside the gossip working set are eventually detected.
 const sweepEvery = 4
 
-// certificates returns the unexpired tombstoned IDs, capped for transport.
-func (n *Node) certificates() []id.ID {
+// appendCertificates appends the unexpired tombstoned IDs to dst, capped
+// for transport.
+func (n *Node) appendCertificates(dst []id.ID) []id.ID {
 	if len(n.tombs) == 0 {
-		return nil
+		return dst
 	}
-	out := make([]id.ID, 0, len(n.tombs))
+	added := 0
 	for dead, expiry := range n.tombs {
 		if n.ticks >= expiry {
 			delete(n.tombs, dead)
 			continue
 		}
-		out = append(out, dead)
-		if len(out) == maxCertificates {
+		dst = append(dst, dead)
+		if added++; added == maxCertificates {
 			break
 		}
 	}
-	return out
+	return dst
 }
 
 // adoptCertificates merges a peer's death certificates: each new one
@@ -137,6 +171,7 @@ func NewNode(self peer.Descriptor, cfg Config, sampler sampling.Service) (*Node,
 		table:   NewPrefixTable(self.ID, cfg.B, cfg.K),
 		pending: peer.None,
 	}
+	n.appendSampler, _ = sampler.(sampling.AppendSampler)
 	if cfg.EvictAfterMisses > 0 {
 		n.misses = make(map[id.ID]int)
 		n.tombs = make(map[id.ID]int64)
@@ -237,7 +272,7 @@ func (n *Node) filterTombstoned(ds []peer.Descriptor) []peer.Descriptor {
 // equally optimised message) and the tail of the active thread (merge the
 // answer).
 func (n *Node) Handle(ctx proto.Context, from peer.Addr, msg proto.Message) {
-	m, ok := msg.(Message)
+	m, ok := msg.(*Message)
 	if !ok {
 		return
 	}
@@ -319,7 +354,7 @@ func (n *Node) selectPeer(rng *rand.Rand) peer.Descriptor {
 // convergence. We therefore ship all remaining union entries, which also
 // matches the paper's stated bound (the size of the full prefix table,
 // "usually smaller in practice" — the union is far smaller than 768).
-func (n *Node) createMessage(q peer.Descriptor, request bool) Message {
+func (n *Node) createMessage(q peer.Descriptor, request bool) *Message {
 	if n.scratchUnion == nil {
 		n.scratchUnion = peer.NewSet(n.cfg.C + n.cfg.CR + n.table.Len() + 1)
 	} else {
@@ -327,12 +362,19 @@ func (n *Node) createMessage(q peer.Descriptor, request bool) Message {
 	}
 	union := n.scratchUnion
 	union.Add(n.self)
-	union.AddAll(n.leaf.Slice())
+	union.AddAll(n.leaf.Successors())
+	union.AddAll(n.leaf.Predecessors())
 	if n.cfg.CR > 0 {
-		union.AddAll(n.sampler.Sample(n.cfg.CR))
+		if n.appendSampler != nil {
+			n.scratchSample = n.appendSampler.AppendSample(n.scratchSample[:0], n.cfg.CR)
+			union.AddAll(n.scratchSample)
+		} else {
+			union.AddAll(n.sampler.Sample(n.cfg.CR))
+		}
 	}
 	if !n.cfg.DisablePrefixFeedback {
-		union.AddAll(n.table.Entries())
+		n.scratchTable = n.table.AppendEntries(n.scratchTable[:0])
+		union.AddAll(n.scratchTable)
 	}
 	union.Remove(q.ID) // never ship the destination its own descriptor
 
@@ -347,13 +389,17 @@ func (n *Node) createMessage(q peer.Descriptor, request bool) Message {
 	n.scratchSel = append(n.scratchSel[:0], union.Slice()...)
 	closest := peer.SelectNClosest(n.scratchSel, q.ID, nBase+nExtra)
 
-	// The shipped slice is freshly allocated: messages are owned by their
-	// receiver (see Message), so scratch must never escape.
-	entries := make([]peer.Descriptor, len(closest))
-	copy(entries, closest)
-	m := Message{Sender: n.self, Entries: entries, Request: request}
+	// The shipped entries are copied out of scratch into a pooled
+	// message's arena: messages are owned by their receiver (see Message),
+	// so scratch must never escape — and the engine recycles the arena
+	// once the receiver is done with it.
+	m := messagePool.Get().(*Message)
+	m.Sender = n.self
+	m.Request = request
+	m.Entries = append(m.Entries[:0], closest...)
+	m.Dead = m.Dead[:0]
 	if n.cfg.EvictAfterMisses > 0 {
-		m.Dead = n.certificates()
+		m.Dead = n.appendCertificates(m.Dead)
 	}
 	return m
 }

@@ -26,19 +26,24 @@ func TestLiveCrossEngineEquivalence(t *testing.T) {
 	cfg := core.DefaultConfig()
 
 	sim, err := Run(Params{
-		N:         n,
-		Seed:      1,
-		Config:    cfg,
-		MaxCycles: cycles,
+		N:              n,
+		Seed:           1,
+		Config:         cfg,
+		MaxCycles:      cycles,
+		MeasureWorkers: 3,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	// MeasureWorkers > 1 on both engines: parallel measurement must not
+	// change the reported missing-entry fractions (the simnet side is
+	// additionally pinned bit-exactly in TestMeasureWorkersInvariance).
 	live, err := RunLive(LiveParams{
-		N:      n,
-		Config: cfg,
-		Period: 20 * time.Millisecond,
-		Cycles: cycles,
+		N:              n,
+		Config:         cfg,
+		Period:         20 * time.Millisecond,
+		Cycles:         cycles,
+		MeasureWorkers: 4,
 	}, 1)
 	if err != nil {
 		t.Fatal(err)

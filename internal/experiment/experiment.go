@@ -101,6 +101,11 @@ type Params struct {
 	// must equal N). Used to study non-uniform ID distributions; the
 	// default is N uniform random IDs.
 	IDs []id.ID
+	// MeasureWorkers is the number of goroutines the per-cycle
+	// ground-truth measurement is sharded across (0 = GOMAXPROCS). The
+	// measurement aggregates integer counts, so every value produces
+	// bit-identical results; the protocol trace is untouched either way.
+	MeasureWorkers int
 	// KeepRunningAfterPerfect continues until MaxCycles even after
 	// perfection, for steady-state studies.
 	KeepRunningAfterPerfect bool
@@ -131,6 +136,9 @@ func (p Params) Validate() error {
 	}
 	if len(p.IDs) != 0 && len(p.IDs) != p.N {
 		return fmt.Errorf("experiment: %d explicit IDs for N = %d", len(p.IDs), p.N)
+	}
+	if p.MeasureWorkers < 0 {
+		return fmt.Errorf("experiment: MeasureWorkers = %d must not be negative", p.MeasureWorkers)
 	}
 	return p.Config.Validate()
 }
@@ -200,8 +208,13 @@ type runner struct {
 	oracle  *sampling.Oracle
 	members []*member
 	byID    map[id.ID]*member
-	tr      *truth.Truth
-	stale   bool // membership changed since tr was built
+	// tr is the trial's ground-truth oracle. It is built once and then
+	// mutated incrementally by churn/join deltas — never rebuilt per
+	// cycle (the measurement plane's dominant cost at paper scale).
+	tr *truth.Truth
+	// aliveBuf and measBuf are reused across measure calls.
+	aliveBuf []*member
+	measBuf  []truth.Member
 }
 
 func (r *runner) run() (*Result, error) {
@@ -209,6 +222,10 @@ func (r *runner) run() (*Result, error) {
 	r.net = simnet.New(simnet.Config{Seed: p.Seed, Drop: p.Drop})
 	r.rng = rand.New(rand.NewSource(p.Seed + 0x9e3779b9))
 	r.idGen = id.NewGenerator(p.Seed + 0x7f4a7c15)
+	// Explicit initial IDs bypass the generator, so reserve them: later
+	// churn/join draws are then collision-free by construction (the
+	// generator never repeats a reserved or produced ID).
+	r.idGen.Reserve(p.IDs...)
 	r.byID = make(map[id.ID]*member, p.N)
 
 	descs := make([]peer.Descriptor, p.N)
@@ -236,7 +253,15 @@ func (r *runner) run() (*Result, error) {
 	if p.Sampler == SamplerNewscast && warmup > 0 {
 		r.net.Run(warmup)
 	}
-	r.stale = true
+	ids := make([]id.ID, len(r.members))
+	for i, m := range r.members {
+		ids[i] = m.desc.ID
+	}
+	tr, err := truth.New(ids, p.Config.B, p.Config.K, p.Config.C)
+	if err != nil {
+		return nil, err
+	}
+	r.tr = tr
 
 	res := &Result{Params: p, ConvergedAt: -1}
 	start := r.net.Now()
@@ -252,10 +277,7 @@ func (r *runner) run() (*Result, error) {
 			}
 		}
 		r.net.Run(start + int64(cycle+1)*delta)
-		pt, err := r.measure(cycle)
-		if err != nil {
-			return nil, err
-		}
+		pt := r.measure(cycle)
 		res.Points = append(res.Points, pt)
 		joinPending := p.Join.Count > 0 && cycle < p.Join.Cycle
 		if pt.LeafMissing == 0 && pt.PrefixMissing == 0 && !joinPending {
@@ -303,7 +325,8 @@ func (r *runner) spawn(d peer.Descriptor, bootstrapStart int64) (*member, error)
 	return m, nil
 }
 
-// applyChurn replaces Rate*N random live nodes with fresh ones.
+// applyChurn replaces Rate*N random live nodes with fresh ones and applies
+// the delta to the trial's ground-truth oracle.
 func (r *runner) applyChurn() error {
 	n := int(r.p.Churn.Rate * float64(r.p.N))
 	if n == 0 && r.p.Churn.Rate > 0 {
@@ -314,13 +337,16 @@ func (r *runner) applyChurn() error {
 		n = len(alive)
 	}
 	perm := r.rng.Perm(len(alive))
+	removed := make([]id.ID, n)
 	for i := 0; i < n; i++ {
 		victim := alive[perm[i]]
 		victim.alive = false
 		r.net.Kill(victim.desc.Addr)
 		r.oracle.Remove(victim.desc.ID)
 		delete(r.byID, victim.desc.ID)
+		removed[i] = victim.desc.ID
 	}
+	added := make([]id.ID, n)
 	for i := 0; i < n; i++ {
 		d := peer.Descriptor{ID: r.idGen.Next(), Addr: r.net.AddNode()}
 		r.oracle.Add(d)
@@ -329,9 +355,9 @@ func (r *runner) applyChurn() error {
 			return err
 		}
 		r.members = append(r.members, m)
+		added[i] = d.ID
 	}
-	r.stale = true
-	return nil
+	return r.tr.Update(added, removed)
 }
 
 // applyJoin starts count fresh nodes within the coming cycle — a massive
@@ -339,6 +365,7 @@ func (r *runner) applyChurn() error {
 // (the paper's NEWSCAST handles that in a handful of cycles even after
 // doubling; with the oracle it is instant).
 func (r *runner) applyJoin(count int) error {
+	added := make([]id.ID, count)
 	for i := 0; i < count; i++ {
 		d := peer.Descriptor{ID: r.idGen.Next(), Addr: r.net.AddNode()}
 		r.oracle.Add(d)
@@ -347,74 +374,60 @@ func (r *runner) applyJoin(count int) error {
 			return err
 		}
 		r.members = append(r.members, m)
+		added[i] = d.ID
 	}
-	r.stale = true
-	return nil
+	return r.tr.Update(added, nil)
 }
 
 func (r *runner) aliveMembers() []*member {
-	out := make([]*member, 0, len(r.members))
+	out := r.aliveBuf[:0]
 	for _, m := range r.members {
 		if m.alive {
 			out = append(out, m)
 		}
 	}
+	r.aliveBuf = out
 	return out
 }
 
 // measure computes the network-wide missing proportions against ground
-// truth for the current membership.
-func (r *runner) measure(cycle int) (Point, error) {
+// truth for the current membership, sharding the per-node measurement
+// across MeasureWorkers goroutines. The simulator is quiescent between
+// Run calls, so the parallel readers see stable protocol state.
+func (r *runner) measure(cycle int) Point {
 	alive := r.aliveMembers()
-	if r.stale {
-		ids := make([]id.ID, len(alive))
-		for i, m := range alive {
-			ids[i] = m.desc.ID
-		}
-		tr, err := truth.New(ids, r.p.Config.B, r.p.Config.K, r.p.Config.C)
-		if err != nil {
-			return Point{}, err
-		}
-		r.tr = tr
-		r.stale = false
-	}
-	var leafMiss, leafTot, prefMiss, prefTot int
-	var leafPerfect, prefPerfect, leafDead, prefDead int
+	ms := r.measBuf[:0]
 	for _, m := range alive {
-		lm, lt := r.tr.LeafSetMissingFor(m.desc.ID, m.boot.Leaf())
-		pm, pt, pd := r.tr.PrefixMissingLive(m.desc.ID, m.boot.Table())
-		leafMiss += lm
-		leafTot += lt
-		prefMiss += pm
-		prefTot += pt
-		prefDead += pd
-		leafDead += r.tr.LeafSetDead(m.boot.Leaf())
-		if lm == 0 {
-			leafPerfect++
-		}
-		if pm == 0 {
-			prefPerfect++
-		}
+		ms = append(ms, truth.Member{Self: m.desc.ID, Leaf: m.boot.Leaf(), Table: m.boot.Table()})
 	}
+	r.measBuf = ms
+	agg := r.tr.MeasureAll(ms, r.p.MeasureWorkers)
 	st := r.net.Stats()
+	return pointFromAggregate(cycle, agg, len(alive), st.Sent, st.Dropped, st.WireUnits)
+}
+
+// pointFromAggregate converts MeasureAll's integer sums into the per-cycle
+// Point both engines report (wireUnits is 0 under livenet, which does no
+// descriptor-unit accounting).
+func pointFromAggregate(cycle int, agg truth.Aggregate, alive int, sent, dropped, wireUnits int64) Point {
 	pt := Point{
 		Cycle:         cycle,
-		LeafPerfect:   leafPerfect,
-		PrefixPerfect: prefPerfect,
-		LeafDead:      leafDead,
-		PrefixDead:    prefDead,
-		Alive:         len(alive),
-		Sent:          st.Sent,
-		Dropped:       st.Dropped,
-		WireUnits:     st.WireUnits,
+		LeafPerfect:   agg.LeafPerfect,
+		PrefixPerfect: agg.PrefixPerfect,
+		LeafDead:      agg.LeafDead,
+		PrefixDead:    agg.PrefixDead,
+		Alive:         alive,
+		Sent:          sent,
+		Dropped:       dropped,
+		WireUnits:     wireUnits,
 	}
-	if leafTot > 0 {
-		pt.LeafMissing = float64(leafMiss) / float64(leafTot)
+	if agg.LeafTotal > 0 {
+		pt.LeafMissing = float64(agg.LeafMissing) / float64(agg.LeafTotal)
 	}
-	if prefTot > 0 {
-		pt.PrefixMissing = float64(prefMiss) / float64(prefTot)
+	if agg.PrefixTotal > 0 {
+		pt.PrefixMissing = float64(agg.PrefixMissing) / float64(agg.PrefixTotal)
 	}
-	return pt, nil
+	return pt
 }
 
 // WriteCSV emits the per-cycle series with a header, one row per cycle.

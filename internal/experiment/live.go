@@ -47,6 +47,10 @@ type LiveParams struct {
 	Scenario livenet.Scenario
 	// KeepRunningAfterPerfect continues to Cycles even after perfection.
 	KeepRunningAfterPerfect bool
+	// MeasureWorkers shards the pause-the-world measurement across this
+	// many goroutines (0 = GOMAXPROCS). The reported fractions are
+	// bit-identical for every value; only the paused window shrinks.
+	MeasureWorkers int
 }
 
 // liveTicksPerCoreSecond is the sustained protocol-callback throughput
@@ -103,6 +107,9 @@ func (p LiveParams) Validate() error {
 	}
 	if p.MinLatency < 0 || p.MaxLatency < 0 {
 		return errors.New("experiment: live latency bounds must not be negative")
+	}
+	if p.MeasureWorkers < 0 {
+		return fmt.Errorf("experiment: live MeasureWorkers = %d must not be negative", p.MeasureWorkers)
 	}
 	return p.Config.Validate()
 }
@@ -198,39 +205,46 @@ func RunLive(p LiveParams, seed int64) (*LiveResult, error) {
 		return nil, err
 	}
 
+	// The trial's ground-truth oracle: built once, then patched with the
+	// kill/respawn deltas of each cycle's scenario events. Membership
+	// only changes via applyLiveEvent (same goroutine), so the patch
+	// happens before pausing the world — the stop-the-world window then
+	// covers only the actual state inspection, not the truth derivation.
+	tr, err := truth.New(ids, p.Config.B, p.Config.K, p.Config.C)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &LiveResult{Params: p, Seed: seed, Schedule: schedule, ConvergedAt: -1}
-	var meas *liveMeasurer
-	stale := true
+	var measBuf []truth.Member
 	for cycle := 0; cycle < p.Cycles; cycle++ {
 		for _, e := range byCycle[cycle] {
-			changed, err := applyLiveEvent(net, members, oracle, rng, e, res)
+			added, removed, err := applyLiveEvent(net, members, oracle, rng, e, res)
 			if err != nil {
 				return nil, err
 			}
-			stale = stale || changed
-		}
-		// Membership only changes via applyLiveEvent above (same
-		// goroutine), so the ground truth can be rebuilt before pausing
-		// the world — the stop-the-world window then covers only the
-		// actual state inspection, not the truth derivation.
-		if stale {
-			var aliveIDs []id.ID
-			for _, m := range members {
-				if m.alive {
-					aliveIDs = append(aliveIDs, m.desc.ID)
+			if len(added) > 0 || len(removed) > 0 {
+				if err := tr.Update(added, removed); err != nil {
+					return nil, err
 				}
 			}
-			var err error
-			meas, err = newLiveMeasurer(aliveIDs, p.Config)
-			if err != nil {
-				return nil, err
-			}
-			stale = false
 		}
 		time.Sleep(p.Period)
 
 		net.PauseAll()
-		pt := meas.measure(members, cycle, net.Snapshot())
+		ms := measBuf[:0]
+		alive := 0
+		for _, m := range members {
+			if !m.alive {
+				continue
+			}
+			alive++
+			ms = append(ms, truth.Member{Self: m.desc.ID, Leaf: m.node.Leaf(), Table: m.node.Table()})
+		}
+		measBuf = ms
+		agg := tr.MeasureAll(ms, p.MeasureWorkers)
+		st := net.Snapshot()
+		pt := pointFromAggregate(cycle, agg, alive, st.Sent, st.Dropped, 0)
 		net.ResumeAll()
 
 		res.Points = append(res.Points, pt)
@@ -251,9 +265,9 @@ func RunLive(p LiveParams, seed int64) (*LiveResult, error) {
 	return res, nil
 }
 
-// applyLiveEvent executes one scenario event; it reports whether the live
-// membership changed (forcing a ground-truth rebuild).
-func applyLiveEvent(net *livenet.Network, members []*liveMember, oracle *sampling.Oracle, rng *rand.Rand, e livenet.Event, res *LiveResult) (bool, error) {
+// applyLiveEvent executes one scenario event; it returns the membership
+// delta (IDs that joined and left) for the trial's ground-truth oracle.
+func applyLiveEvent(net *livenet.Network, members []*liveMember, oracle *sampling.Oracle, rng *rand.Rand, e livenet.Event, res *LiveResult) (added, removed []id.ID, err error) {
 	switch e.Op {
 	case livenet.OpKill:
 		var alive []*liveMember
@@ -272,7 +286,7 @@ func applyLiveEvent(net *livenet.Network, members []*liveMember, oracle *samplin
 			k = max
 		}
 		if k <= 0 {
-			return false, nil
+			return nil, nil, nil
 		}
 		perm := rng.Perm(len(alive))
 		// Kill the wave in parallel: each Kill blocks until the victim's
@@ -284,6 +298,7 @@ func applyLiveEvent(net *livenet.Network, members []*liveMember, oracle *samplin
 			victim.alive = false
 			oracle.Remove(victim.desc.ID)
 			res.Killed++
+			removed = append(removed, victim.desc.ID)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -291,122 +306,47 @@ func applyLiveEvent(net *livenet.Network, members []*liveMember, oracle *samplin
 			}()
 		}
 		wg.Wait()
-		return true, nil
+		return nil, removed, nil
 	case livenet.OpRespawn:
-		changed := false
 		for _, m := range members {
 			if m.alive {
 				continue
 			}
 			if err := m.host.Respawn(); err != nil {
-				return changed, err
+				return added, nil, err
 			}
 			m.alive = true
 			oracle.Add(m.desc)
 			res.Respawned++
-			changed = true
+			added = append(added, m.desc.ID)
 		}
-		return changed, nil
+		return added, nil, nil
 	case livenet.OpPartition:
 		split := peer.Addr(e.Split)
 		net.SetPartition(func(from, to peer.Addr) bool {
 			return (from < split) != (to < split)
 		})
-		return false, nil
+		return nil, nil, nil
 	case livenet.OpHeal:
 		net.SetPartition(nil)
-		return false, nil
+		return nil, nil, nil
 	case livenet.OpSetDrop:
 		v := e.Value
 		if v < 0 {
 			v = res.Params.Drop // restore the configured baseline
 		}
 		net.SetDrop(v)
-		return false, nil
+		return nil, nil, nil
 	case livenet.OpSetLatency:
 		min, max := e.Min, e.Max
 		if min < 0 || max < 0 {
 			min, max = res.Params.MinLatency, res.Params.MaxLatency
 		}
 		net.SetLatency(min, max)
-		return false, nil
+		return nil, nil, nil
 	default:
-		return false, fmt.Errorf("experiment: unknown scenario op %v", e.Op)
+		return nil, nil, fmt.Errorf("experiment: unknown scenario op %v", e.Op)
 	}
-}
-
-// liveMeasurer computes per-cycle convergence metrics for one membership
-// epoch. It caches the per-node perfect structures (leaf set, expected
-// slot counts), which are a function of the membership alone: measuring
-// every cycle at 10k+ hosts would otherwise spend most of its paused
-// window re-deriving identical ground truth.
-type liveMeasurer struct {
-	tr    *truth.Truth
-	leaf  map[id.ID][]id.ID
-	slots map[id.ID][][]int
-}
-
-func newLiveMeasurer(aliveIDs []id.ID, cfg core.Config) (*liveMeasurer, error) {
-	tr, err := truth.New(aliveIDs, cfg.B, cfg.K, cfg.C)
-	if err != nil {
-		return nil, err
-	}
-	m := &liveMeasurer{
-		tr:    tr,
-		leaf:  make(map[id.ID][]id.ID, len(aliveIDs)),
-		slots: make(map[id.ID][][]int, len(aliveIDs)),
-	}
-	for _, v := range aliveIDs {
-		m.leaf[v] = tr.PerfectLeafSet(v)
-		m.slots[v] = tr.ExpectedSlotCounts(v)
-	}
-	return m, nil
-}
-
-// measure computes the network-wide missing proportions against the
-// ground truth for the current live membership. Callers must have paused
-// the network (or closed it) so protocol state is quiescent.
-func (mm *liveMeasurer) measure(members []*liveMember, cycle int, st livenet.Stats) Point {
-	tr := mm.tr
-	var leafMiss, leafTot, prefMiss, prefTot int
-	var leafPerfect, prefPerfect, leafDead, prefDead, alive int
-	for _, m := range members {
-		if !m.alive {
-			continue
-		}
-		alive++
-		lm, lt := truth.LeafSetMissingWith(mm.leaf[m.desc.ID], m.node.Leaf())
-		pm, pt, pd := tr.PrefixMissingLiveWith(mm.slots[m.desc.ID], m.node.Table())
-		leafMiss += lm
-		leafTot += lt
-		prefMiss += pm
-		prefTot += pt
-		prefDead += pd
-		leafDead += tr.LeafSetDead(m.node.Leaf())
-		if lm == 0 {
-			leafPerfect++
-		}
-		if pm == 0 {
-			prefPerfect++
-		}
-	}
-	pt := Point{
-		Cycle:         cycle,
-		LeafPerfect:   leafPerfect,
-		PrefixPerfect: prefPerfect,
-		LeafDead:      leafDead,
-		PrefixDead:    prefDead,
-		Alive:         alive,
-		Sent:          st.Sent,
-		Dropped:       st.Dropped,
-	}
-	if leafTot > 0 {
-		pt.LeafMissing = float64(leafMiss) / float64(leafTot)
-	}
-	if prefTot > 0 {
-		pt.PrefixMissing = float64(prefMiss) / float64(prefTot)
-	}
-	return pt
 }
 
 // LiveTrialsResult is the outcome of a multi-trial live campaign.

@@ -127,7 +127,18 @@ func NewGenerator(seed int64) *Generator {
 	}
 }
 
-// Next returns a fresh ID never returned by this generator before.
+// Reserve marks ids as already taken, so Next never returns any of them.
+// Seeding a generator with a network's pre-existing identifiers makes
+// later draws collision-free by construction — the churn/join harness
+// relies on this instead of detecting duplicates after the fact.
+func (g *Generator) Reserve(ids ...ID) {
+	for _, v := range ids {
+		g.seen[v] = struct{}{}
+	}
+}
+
+// Next returns a fresh ID never returned by this generator before (and
+// never colliding with a Reserved ID).
 func (g *Generator) Next() ID {
 	for {
 		v := ID(g.rng.Uint64())

@@ -16,6 +16,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -68,12 +69,28 @@ type HostStats struct {
 	Incarnations int64
 }
 
+// latencyWindow is an immutable [min, max] delivery latency pair; SetLatency
+// swaps the whole window atomically so senders never observe a torn pair.
+type latencyWindow struct {
+	min, max time.Duration
+}
+
+// partitionFunc is a cut predicate; see SetPartition.
+type partitionFunc func(from, to peer.Addr) bool
+
 // Network is a concurrent in-memory network of hosts.
+//
+// The send path is deliberately lock-free: the fault model lives in
+// atomics (drop probability as float bits, the latency window and the
+// partition predicate behind atomic pointers) and the per-send randomness
+// comes from the sending host's private RNG, so concurrent senders never
+// serialise on Network.mu. The mutex only guards cold control-plane state:
+// host registration and the closing handshake.
 type Network struct {
 	cfg     Config
 	mu      sync.Mutex
-	rng     *rand.Rand // guarded by mu: drop/latency decisions, host seeds
-	hosts   []*Host
+	rng     *rand.Rand // guarded by mu: host seeding (AddHost, pre-Start)
+	hosts   []*Host    // append-only before Start; read lock-free afterwards
 	wg      sync.WaitGroup
 	stop    chan struct{}
 	closed  atomic.Bool
@@ -81,10 +98,10 @@ type Network struct {
 	started atomic.Bool
 	start   time.Time
 
-	// Mutable fault model, guarded by mu.
-	drop           float64
-	minLat, maxLat time.Duration
-	partition      func(from, to peer.Addr) bool
+	// Mutable fault model, read lock-free on every send.
+	dropBits  atomic.Uint64 // math.Float64bits of the drop probability
+	lat       atomic.Pointer[latencyWindow]
+	partition atomic.Pointer[partitionFunc]
 
 	wire *wire
 
@@ -100,22 +117,19 @@ func New(cfg Config) *Network {
 		cfg.MaxLatency = cfg.MinLatency
 	}
 	n := &Network{
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		stop:   make(chan struct{}),
-		drop:   cfg.Drop,
-		minLat: cfg.MinLatency,
-		maxLat: cfg.MaxLatency,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		stop: make(chan struct{}),
 	}
+	n.dropBits.Store(math.Float64bits(cfg.Drop))
+	n.lat.Store(&latencyWindow{min: cfg.MinLatency, max: cfg.MaxLatency})
 	n.wire = newWire(n)
 	return n
 }
 
 // SetDrop changes the per-message loss probability at runtime.
 func (n *Network) SetDrop(p float64) {
-	n.mu.Lock()
-	n.drop = p
-	n.mu.Unlock()
+	n.dropBits.Store(math.Float64bits(p))
 }
 
 // SetLatency changes the delivery latency window at runtime.
@@ -123,18 +137,20 @@ func (n *Network) SetLatency(min, max time.Duration) {
 	if max < min {
 		max = min
 	}
-	n.mu.Lock()
-	n.minLat, n.maxLat = min, max
-	n.mu.Unlock()
+	n.lat.Store(&latencyWindow{min: min, max: max})
 }
 
 // SetPartition installs a cut predicate: messages for which fn(from, to)
 // reports true are dropped. Passing nil heals the partition. fn must be
-// pure and fast; it is called with the network lock held.
+// pure, fast, and safe for concurrent use; it is called lock-free on the
+// sender's goroutine.
 func (n *Network) SetPartition(fn func(from, to peer.Addr) bool) {
-	n.mu.Lock()
-	n.partition = fn
-	n.mu.Unlock()
+	if fn == nil {
+		n.partition.Store(nil)
+		return
+	}
+	pf := partitionFunc(fn)
+	n.partition.Store(&pf)
 }
 
 // command is one unit of work for a host goroutine.
@@ -194,10 +210,14 @@ type ctrlMsg struct {
 // Host is one node: a mailbox plus the protocols attached to it. All
 // protocol callbacks run on the host's single goroutine.
 type Host struct {
-	net      *Network
-	addr     peer.Addr
-	inbox    chan command
-	rng      *rand.Rand
+	net   *Network
+	addr  peer.Addr
+	inbox chan command
+	rng   *rand.Rand
+	// sendRNG drives this host's outbound drop/latency decisions. It is
+	// distinct from the protocol-visible rng and is only touched from the
+	// host's own callback goroutine, so the send path needs no lock.
+	sendRNG  *rand.Rand
 	bindings []*binding
 	protos   map[proto.ProtoID]proto.Protocol
 	ctrl     chan ctrlMsg
@@ -230,13 +250,14 @@ func (n *Network) AddHost() *Host {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	h := &Host{
-		net:    n,
-		addr:   peer.Addr(len(n.hosts)),
-		inbox:  make(chan command, n.cfg.InboxSize),
-		rng:    rand.New(rand.NewSource(n.rng.Int63())),
-		protos: make(map[proto.ProtoID]proto.Protocol, 2),
-		ctrl:   make(chan ctrlMsg),
-		inc:    newIncarnation(),
+		net:     n,
+		addr:    peer.Addr(len(n.hosts)),
+		inbox:   make(chan command, n.cfg.InboxSize),
+		rng:     rand.New(rand.NewSource(n.rng.Int63())),
+		sendRNG: rand.New(rand.NewSource(n.rng.Int63())),
+		protos:  make(map[proto.ProtoID]proto.Protocol, 2),
+		ctrl:    make(chan ctrlMsg),
+		inc:     newIncarnation(),
 	}
 	n.hosts = append(n.hosts, h)
 	return h
@@ -299,10 +320,20 @@ func (h *Host) drainInbox() {
 				cmd.tick.tickQueued.Store(false)
 			} else {
 				h.net.dropped.Add(1)
+				recycle(cmd.msg)
 			}
 		default:
 			return
 		}
+	}
+}
+
+// recycle retires a message (see proto.Recyclable): called exactly once
+// per message, after its Handle returns or on any drop/overflow/drain
+// path. sync.Pool's Put/Get establish the cross-goroutine ordering.
+func recycle(m proto.Message) {
+	if r, ok := m.(proto.Recyclable); ok {
+		r.Recycle()
 	}
 }
 
@@ -577,38 +608,47 @@ func (h *Host) dispatch(cmd command) {
 	p, ok := h.protos[cmd.pid]
 	if !ok {
 		h.net.dropped.Add(1)
+		recycle(cmd.msg)
 		return
 	}
 	h.net.delivered.Add(1)
 	h.delivered.Add(1)
 	p.Handle(hostContext{h: h, pid: cmd.pid}, cmd.from, cmd.msg)
+	recycle(cmd.msg)
 }
 
 // send applies the fault model and enqueues the delivery, either directly
-// or through the wire for latency.
+// or through the wire for latency. It runs entirely lock-free — fault
+// model from atomics, randomness from the sender's private RNG, host table
+// immutable after Start — so concurrent senders never contend. It must
+// only be called from the sending host's callback goroutine (the only
+// place protocols can send from).
 func (n *Network) send(from, to peer.Addr, pid proto.ProtoID, msg proto.Message) {
 	n.sent.Add(1)
-	n.mu.Lock()
-	drop := n.drop > 0 && n.rng.Float64() < n.drop
-	if !drop && n.partition != nil && n.partition(from, to) {
-		drop = true
+	rng := n.hosts[from].sendRNG
+	dropP := math.Float64frombits(n.dropBits.Load())
+	drop := dropP > 0 && rng.Float64() < dropP
+	if !drop {
+		if cut := n.partition.Load(); cut != nil && (*cut)(from, to) {
+			drop = true
+		}
 	}
 	var lat time.Duration
-	if !drop && n.maxLat > 0 {
-		span := int64(n.maxLat - n.minLat)
-		lat = n.minLat
+	if w := n.lat.Load(); !drop && w.max > 0 {
+		span := int64(w.max - w.min)
+		lat = w.min
 		if span > 0 {
-			lat += time.Duration(n.rng.Int63n(span + 1))
+			lat += time.Duration(rng.Int63n(span + 1))
 		}
 	}
 	var dst *Host
 	if int(to) >= 0 && int(to) < len(n.hosts) {
 		dst = n.hosts[to]
 	}
-	n.mu.Unlock()
 
 	if drop || dst == nil {
 		n.dropped.Add(1)
+		recycle(msg)
 		return
 	}
 	cmd := command{from: from, pid: pid, msg: msg}
@@ -630,13 +670,16 @@ func (n *Network) deliver(dst *Host, cmd command) {
 	case dst.inbox <- cmd:
 	case <-n.stop:
 		n.dropped.Add(1)
+		recycle(cmd.msg)
 	default:
 		if dst.Stopped() {
 			n.dropped.Add(1)
+			recycle(cmd.msg)
 			return
 		}
 		n.overflow.Add(1)
 		dst.overflow.Add(1)
+		recycle(cmd.msg)
 	}
 }
 
@@ -730,10 +773,13 @@ func (w *wire) loop() {
 // after the loop goroutine has exited.
 func (w *wire) drain() {
 	w.mu.Lock()
-	n := len(w.heap)
+	flights := w.heap
 	w.heap = nil
 	w.mu.Unlock()
-	w.net.dropped.Add(int64(n))
+	w.net.dropped.Add(int64(len(flights)))
+	for _, f := range flights {
+		recycle(f.cmd.msg)
+	}
 }
 
 // Close stops all hosts, waits for them to exit, and settles the traffic

@@ -5,6 +5,7 @@ package peer
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/id"
@@ -115,10 +116,20 @@ func (s *Set) Copy() []Descriptor {
 }
 
 // SortByRingDistance orders ds in place by ring distance from the pivot,
-// closest first. Ties are broken by ID so the order is deterministic.
+// closest first. Ties are broken by ID so the order is deterministic: the
+// comparator is a total order over distinct IDs, which also makes the
+// result independent of the sort algorithm. slices.SortFunc rather than
+// sort.Slice keeps the per-call reflection swapper allocation off the
+// message-construction hot path.
 func SortByRingDistance(ds []Descriptor, pivot id.ID) {
-	sort.Slice(ds, func(i, j int) bool {
-		return ringLess(pivot, ds[i], ds[j])
+	slices.SortFunc(ds, func(a, b Descriptor) int {
+		if ringLess(pivot, a, b) {
+			return -1
+		}
+		if ringLess(pivot, b, a) {
+			return 1
+		}
+		return 0
 	})
 }
 

@@ -23,6 +23,20 @@ type Sizer interface {
 	WireSize() int
 }
 
+// Recyclable is optionally implemented by messages whose backing storage is
+// pooled by the sending protocol. An engine calls Recycle exactly once per
+// message, at the moment the message is retired: after the receiving
+// protocol's Handle returns, or when the engine drops the message (loss
+// model, dead destination, full inbox, shutdown drain). After Recycle the
+// message and its slices may be reused for a future send, so neither
+// engines nor protocols may retain any part of a recyclable message past
+// Handle. A message fanned out by reference to several receivers must NOT
+// be recycled per delivery — engines that broadcast one value must recycle
+// it once, after the last delivery, or not at all.
+type Recyclable interface {
+	Recycle()
+}
+
 // ProtoID distinguishes the protocol stacks running on one node (e.g. the
 // sampling layer and the bootstrapping layer). Messages are delivered to
 // the same ProtoID on the destination node.

@@ -24,6 +24,14 @@ type Service interface {
 	Sample(n int) []peer.Descriptor
 }
 
+// AppendSampler is optionally implemented by Services that can append
+// samples to a caller-provided buffer without allocating — the fast path
+// the bootstrap protocol's per-tick message construction probes for.
+// AppendSample must draw exactly the same sample sequence as Sample.
+type AppendSampler interface {
+	AppendSample(dst []peer.Descriptor, n int) []peer.Descriptor
+}
+
 // Oracle is a Service drawing uniform samples from a globally known
 // membership list. It models a perfectly converged sampling layer, which is
 // the paper's operating assumption for the bootstrap experiments ("we are
@@ -33,9 +41,13 @@ type Oracle struct {
 	rng     *rand.Rand
 	members []peer.Descriptor
 	pos     map[id.ID]int
+	scratch []int // drawn member indices of the in-progress sample
 }
 
-var _ Service = (*Oracle)(nil)
+var (
+	_ Service       = (*Oracle)(nil)
+	_ AppendSampler = (*Oracle)(nil)
+)
 
 // NewOracle returns an Oracle over the given membership, seeded
 // deterministically.
@@ -54,28 +66,43 @@ func NewOracle(members []peer.Descriptor, seed int64) *Oracle {
 
 // Sample returns up to n distinct uniformly random members.
 func (o *Oracle) Sample(n int) []peer.Descriptor {
+	return o.AppendSample(nil, n)
+}
+
+// AppendSample appends up to n distinct uniformly random members to dst.
+// It allocates nothing beyond what dst needs to grow, and consumes the
+// oracle's RNG exactly like Sample, so the two are interchangeable without
+// disturbing a seeded run.
+func (o *Oracle) AppendSample(dst []peer.Descriptor, n int) []peer.Descriptor {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if n > len(o.members) {
 		n = len(o.members)
 	}
 	if n <= 0 {
-		return nil
+		return dst
 	}
-	out := make([]peer.Descriptor, 0, n)
-	// Partial Fisher-Yates over a scratch index space. For the small n
+	// Rejection sampling with a linear duplicate scan. For the small n
 	// used by the protocols (cr <= 100) relative to membership size,
-	// rejection sampling is cheaper and allocation-free.
-	seen := make(map[int]struct{}, n)
-	for len(out) < n {
+	// this is cheaper than a partial Fisher-Yates and allocation-free.
+	drawn := o.scratch[:0]
+	for len(drawn) < n {
 		i := o.rng.Intn(len(o.members))
-		if _, dup := seen[i]; dup {
+		dup := false
+		for _, j := range drawn {
+			if i == j {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[i] = struct{}{}
-		out = append(out, o.members[i])
+		drawn = append(drawn, i)
+		dst = append(dst, o.members[i])
 	}
-	return out
+	o.scratch = drawn
+	return dst
 }
 
 // Add inserts a member (idempotent by ID). Used by churn models.

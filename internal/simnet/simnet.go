@@ -212,10 +212,12 @@ func (n *Network) Send(from, to peer.Addr, pid ProtoID, msg Message) {
 	}
 	if n.linkFault != nil && n.linkFault(from, to) {
 		n.stats.Dropped++
+		recycle(msg)
 		return
 	}
 	if n.cfg.Drop > 0 && n.rng.Float64() < n.cfg.Drop {
 		n.stats.Dropped++
+		recycle(msg)
 		return
 	}
 	n.push(event{
@@ -275,16 +277,29 @@ func (n *Network) dispatch(e event) {
 	case evMessage:
 		if !n.valid(e.to) || !n.nodes[e.to].alive {
 			n.stats.DeadDest++
+			recycle(e.msg)
 			return
 		}
 		st := n.nodes[e.to]
 		b, ok := st.protos[e.pid]
 		if !ok {
 			n.stats.DeadDest++
+			recycle(e.msg)
 			return
 		}
 		n.stats.Delivered++
 		b.proto.Handle(&b.ctx, e.from, e.msg)
+		recycle(e.msg)
+	}
+}
+
+// recycle retires a message: pooled messages return their backing storage
+// to the sender's pool (see proto.Recyclable). Called exactly once per
+// message, after delivery or on any drop path; events abandoned in the
+// queue at the end of a run are simply collected by the GC instead.
+func recycle(m Message) {
+	if r, ok := m.(proto.Recyclable); ok {
+		r.Recycle()
 	}
 }
 

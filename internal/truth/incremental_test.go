@@ -1,0 +1,231 @@
+package truth
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/id"
+	"repro/internal/peer"
+)
+
+// equivalent asserts that the incrementally maintained oracle answers every
+// query exactly like a freshly built one over the same membership.
+func equivalent(t *testing.T, inc *Truth, ids []id.ID, b, k, c int) {
+	t.Helper()
+	fresh, err := New(ids, b, k, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.N() != fresh.N() {
+		t.Fatalf("N = %d, want %d", inc.N(), fresh.N())
+	}
+	if !reflect.DeepEqual(inc.sorted, fresh.sorted) {
+		t.Fatalf("sorted rings diverge:\n inc %v\n new %v", inc.sorted, fresh.sorted)
+	}
+	for _, v := range ids {
+		if !inc.Contains(v) {
+			t.Fatalf("member %s missing", v)
+		}
+		if got, want := inc.PerfectLeafSet(v), fresh.PerfectLeafSet(v); !reflect.DeepEqual(got, want) {
+			t.Fatalf("PerfectLeafSet(%s) = %v, want %v", v, got, want)
+		}
+		if got, want := inc.ExpectedSlotCounts(v), fresh.ExpectedSlotCounts(v); !reflect.DeepEqual(got, want) {
+			t.Fatalf("ExpectedSlotCounts(%s) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestUpdateMatchesRebuild(t *testing.T) {
+	const b, k, c = 4, 3, 8
+	rng := rand.New(rand.NewSource(11))
+	gen := id.NewGenerator(12)
+	ids := make([]id.ID, 64)
+	for i := range ids {
+		ids[i] = gen.Next()
+	}
+	tr, err := New(ids, b, k, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 25; round++ {
+		// Remove a random batch, add a random batch.
+		nRem := rng.Intn(len(ids) / 4)
+		perm := rng.Perm(len(ids))
+		removed := make([]id.ID, nRem)
+		for i := range removed {
+			removed[i] = ids[perm[i]]
+		}
+		survivors := make([]id.ID, 0, len(ids))
+		for _, i := range perm[nRem:] {
+			survivors = append(survivors, ids[i])
+		}
+		added := make([]id.ID, rng.Intn(16)+1)
+		for i := range added {
+			added[i] = gen.Next()
+		}
+		if err := tr.Update(added, removed); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		ids = append(survivors, added...)
+		equivalent(t, tr, ids, b, k, c)
+	}
+}
+
+func TestUpdateLargeBatchMatchesRebuild(t *testing.T) {
+	// Batches above the scan/set validation threshold (mass-join path).
+	const b, k, c = 4, 3, 8
+	gen := id.NewGenerator(21)
+	ids := make([]id.ID, 128)
+	for i := range ids {
+		ids[i] = gen.Next()
+	}
+	tr, err := New(ids, b, k, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := make([]id.ID, 128)
+	for i := range added {
+		added[i] = gen.Next()
+	}
+	if err := tr.Update(added, ids[:64]); err != nil {
+		t.Fatal(err)
+	}
+	equivalent(t, tr, append(append([]id.ID{}, ids[64:]...), added...), b, k, c)
+}
+
+func TestUpdateRejectsBadDeltas(t *testing.T) {
+	ids := []id.ID{10, 20, 30, 40}
+	tr, err := New(ids, 4, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name           string
+		added, removed []id.ID
+	}{
+		{"remove non-member", nil, []id.ID{99}},
+		{"add existing member", []id.ID{20}, nil},
+		{"add twice in batch", []id.ID{50, 50}, nil},
+		{"remove twice in batch", nil, []id.ID{20, 20}},
+		{"add and remove same id", []id.ID{20}, []id.ID{20}},
+		{"empty membership", nil, []id.ID{10, 20, 30, 40}},
+	}
+	for _, tc := range cases {
+		if err := tr.Update(tc.added, tc.removed); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Failed updates must leave the oracle untouched.
+	equivalent(t, tr, ids, 4, 3, 4)
+	// Single-ID convenience wrappers share the validation.
+	if err := tr.Add(20); err == nil {
+		t.Error("Add of existing member accepted")
+	}
+	if err := tr.Remove(99); err == nil {
+		t.Error("Remove of non-member accepted")
+	}
+	if err := tr.Add(50); err != nil {
+		t.Errorf("Add(50): %v", err)
+	}
+	if err := tr.Remove(10); err != nil {
+		t.Errorf("Remove(10): %v", err)
+	}
+	equivalent(t, tr, []id.ID{20, 30, 40, 50}, 4, 3, 4)
+}
+
+func TestUpdateReinsertRemovedID(t *testing.T) {
+	// Removing an ID and re-adding it in a LATER batch must restore the
+	// exact original oracle (the livenet kill→respawn cycle).
+	ids := id.Unique(40, 7)
+	tr, err := New(ids, 4, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Update(nil, ids[:10]); err != nil {
+		t.Fatal(err)
+	}
+	equivalent(t, tr, ids[10:], 4, 3, 8)
+	if err := tr.Update(ids[:10], nil); err != nil {
+		t.Fatal(err)
+	}
+	equivalent(t, tr, ids, 4, 3, 8)
+}
+
+// buildMembers gives every node a partially filled leaf set and prefix
+// table so measurement sees a realistic mid-convergence state.
+func buildMembers(ids []id.ID, b, k, c int) []Member {
+	descs := make([]peer.Descriptor, len(ids))
+	for i, v := range ids {
+		descs[i] = peer.Descriptor{ID: v, Addr: peer.Addr(int32(i))}
+	}
+	members := make([]Member, len(ids))
+	for i, v := range ids {
+		ls := core.NewLeafSet(v, c)
+		lo := i % (len(descs) - 8)
+		ls.Update(descs[lo : lo+8])
+		pt := core.NewPrefixTable(v, b, k)
+		pt.AddAll(descs[(i*13)%len(descs):])
+		members[i] = Member{Self: v, Leaf: ls, Table: pt}
+	}
+	return members
+}
+
+func TestMeasureAllMatchesSerialMethods(t *testing.T) {
+	const b, k, c = 4, 3, 8
+	ids := id.Unique(96, 5)
+	tr, err := New(ids, b, k, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := buildMembers(ids, b, k, c)
+
+	// Reference: the existing one-node-at-a-time public methods.
+	var want Aggregate
+	for _, m := range members {
+		lm, lt := tr.LeafSetMissingFor(m.Self, m.Leaf)
+		pm, pt, pd := tr.PrefixMissingLive(m.Self, m.Table)
+		want.LeafMissing += lm
+		want.LeafTotal += lt
+		want.PrefixMissing += pm
+		want.PrefixTotal += pt
+		want.PrefixDead += pd
+		want.LeafDead += tr.LeafSetDead(m.Leaf)
+		if lm == 0 {
+			want.LeafPerfect++
+		}
+		if pm == 0 {
+			want.PrefixPerfect++
+		}
+	}
+	for _, workers := range []int{1, 2, 3, 7, 32} {
+		if got := tr.MeasureAll(members, workers); got != want {
+			t.Errorf("MeasureAll(workers=%d) = %+v, want %+v", workers, got, want)
+		}
+	}
+}
+
+func TestMeasureAllDeadEntries(t *testing.T) {
+	// Entries naming departed members must count as dead, not as
+	// occupancy — measured through a real churn delta.
+	const b, k, c = 4, 3, 8
+	ids := id.Unique(32, 9)
+	tr, err := New(ids, b, k, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := buildMembers(ids, b, k, c)
+	if err := tr.Update(nil, []id.ID{ids[0]}); err != nil {
+		t.Fatal(err)
+	}
+	agg := tr.MeasureAll(members[1:], 2)
+	if agg.LeafDead == 0 && agg.PrefixDead == 0 {
+		t.Error("departed member's descriptors not counted dead anywhere")
+	}
+	// The departed node itself is skipped silently when measured.
+	empty := tr.MeasureAll(members[:1], 1)
+	if empty != (Aggregate{}) {
+		t.Errorf("non-member measurement contributed %+v", empty)
+	}
+}

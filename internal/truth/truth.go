@@ -7,22 +7,35 @@
 // Perfect prefix-table occupancy is derived from a lazily expanded
 // radix-2^b trie with subtree counts, so a full-network measurement costs
 // O(N · rows · 2^b) instead of O(N^2).
+//
+// The oracle is incremental: Update applies a churn delta in
+// O(changes·log N + N) — one allocation-free merge of the sorted ring plus
+// per-ID trie surgery — instead of an O(N log N) rebuild, and MeasureAll
+// shards the per-node measurement across a worker pool with per-shard
+// scratch buffers, so paper-scale (2^18) per-cycle measurement is bounded
+// by cores, not by a single thread re-deriving ground truth.
 package truth
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/id"
 	"repro/internal/peer"
 )
 
-// Truth is a ground-truth oracle for a fixed membership set.
+// Truth is a ground-truth oracle for a membership set. The membership can
+// be mutated with Add, Remove and Update; measurement methods may be called
+// concurrently with each other, but not concurrently with mutations.
 type Truth struct {
 	b, k, c int
 	sorted  []id.ID
-	pos     map[id.ID]int
+	spare   []id.ID // second buffer, swapped with sorted by Update merges
+	members map[id.ID]struct{}
 	root    *trieNode
 }
 
@@ -33,22 +46,22 @@ func New(ids []id.ID, b, k, c int) (*Truth, error) {
 		return nil, fmt.Errorf("truth: empty membership")
 	}
 	t := &Truth{
-		b:      b,
-		k:      k,
-		c:      c,
-		sorted: make([]id.ID, len(ids)),
-		pos:    make(map[id.ID]int, len(ids)),
-		root:   &trieNode{},
+		b:       b,
+		k:       k,
+		c:       c,
+		sorted:  make([]id.ID, len(ids)),
+		members: make(map[id.ID]struct{}, len(ids)),
+		root:    &trieNode{},
 	}
 	copy(t.sorted, ids)
-	sort.Slice(t.sorted, func(i, j int) bool { return t.sorted[i] < t.sorted[j] })
+	slices.Sort(t.sorted)
 	for i := 1; i < len(t.sorted); i++ {
 		if t.sorted[i] == t.sorted[i-1] {
 			return nil, fmt.Errorf("truth: duplicate id %s", t.sorted[i])
 		}
 	}
-	for i, v := range t.sorted {
-		t.pos[v] = i
+	for _, v := range t.sorted {
+		t.members[v] = struct{}{}
 	}
 	for _, v := range ids {
 		t.root.insert(v, 0, b)
@@ -59,8 +72,121 @@ func New(ids []id.ID, b, k, c int) (*Truth, error) {
 // N returns the membership size.
 func (t *Truth) N() int { return len(t.sorted) }
 
+// indexOf returns v's position in the sorted ring, or -1 for a non-member.
+func (t *Truth) indexOf(v id.ID) int {
+	if i, ok := slices.BinarySearch(t.sorted, v); ok {
+		return i
+	}
+	return -1
+}
+
+// Add inserts a single member. See Update for cost; callers applying a
+// whole churn cycle should batch through Update instead.
+func (t *Truth) Add(v id.ID) error { return t.Update([]id.ID{v}, nil) }
+
+// Remove deletes a single member. See Update.
+func (t *Truth) Remove(v id.ID) error { return t.Update(nil, []id.ID{v}) }
+
+// Update applies a membership delta: every ID of removed leaves, every ID
+// of added joins. The sorted ring is rebuilt with one merge pass into a
+// retained spare buffer and the prefix trie is patched per ID, so a churn
+// cycle costs O(N + changes·log N) with no steady-state allocation —
+// versus the O(N log N) sort, map build and trie build of a fresh New.
+//
+// An ID may not appear in both lists, removed IDs must be members, added
+// IDs must not be; violations leave the oracle unchanged and return an
+// error. The membership must stay non-empty.
+func (t *Truth) Update(added, removed []id.ID) error {
+	if len(added) == 0 && len(removed) == 0 {
+		return nil
+	}
+	if len(t.sorted)+len(added)-len(removed) < 1 {
+		return fmt.Errorf("truth: update would empty the membership")
+	}
+	// Validate both lists in full before mutating anything. Every ID
+	// must appear at most once across the whole delta: a repeated
+	// removal would decrement the trie counts twice, a repeated addition
+	// (or an added-and-removed ID) would ring the ID twice in the merge.
+	// Small batches are checked by scanning; large ones (mass joins)
+	// through a throwaway set, keeping validation O(changes) rather
+	// than O(changes²).
+	var addedSet map[id.ID]struct{}
+	if len(added)+len(removed) > 64 {
+		addedSet = make(map[id.ID]struct{}, len(added)+len(removed))
+	}
+	for i, v := range removed {
+		if _, ok := t.members[v]; !ok {
+			return fmt.Errorf("truth: remove of non-member %s", v)
+		}
+		if addedSet != nil {
+			if _, dup := addedSet[v]; dup {
+				return fmt.Errorf("truth: duplicate id %s in update batch", v)
+			}
+			addedSet[v] = struct{}{}
+			continue
+		}
+		for j := 0; j < i; j++ {
+			if removed[j] == v {
+				return fmt.Errorf("truth: duplicate id %s in update batch", v)
+			}
+		}
+	}
+	for i, v := range added {
+		if _, ok := t.members[v]; ok {
+			return fmt.Errorf("truth: duplicate id %s", v)
+		}
+		if addedSet != nil {
+			if _, dup := addedSet[v]; dup {
+				return fmt.Errorf("truth: duplicate id %s in update batch", v)
+			}
+			addedSet[v] = struct{}{}
+			continue
+		}
+		for j := 0; j < i; j++ {
+			if added[j] == v {
+				return fmt.Errorf("truth: duplicate id %s in update batch", v)
+			}
+		}
+		for _, r := range removed {
+			if r == v {
+				return fmt.Errorf("truth: duplicate id %s in update batch", v)
+			}
+		}
+	}
+	for _, v := range removed {
+		delete(t.members, v)
+		t.root.remove(v, 0, t.b)
+	}
+	for _, v := range added {
+		t.members[v] = struct{}{}
+		t.root.insert(v, 0, t.b)
+	}
+	// Merge the surviving ring with the sorted additions into the spare
+	// buffer, then swap the buffers.
+	addSorted := append(t.spare[:0], added...)
+	slices.Sort(addSorted)
+	merged := addSorted[len(addSorted):]
+	ai := 0
+	for _, v := range t.sorted {
+		if _, ok := t.members[v]; !ok {
+			continue // removed this update
+		}
+		for ai < len(addSorted) && addSorted[ai] < v {
+			merged = append(merged, addSorted[ai])
+			ai++
+		}
+		merged = append(merged, v)
+	}
+	merged = append(merged, addSorted[ai:]...)
+	t.sorted, t.spare = merged, t.sorted
+	return nil
+}
+
 // trieNode is a lazily expanded radix-2^b trie node with subtree counts.
-// While count == 1 the node stays unexpanded and remembers its sole ID.
+// While an unexpanded node holds count == 1 it remembers its sole ID;
+// expanded nodes whose count drops through removals are not re-collapsed
+// (the subtree counts alone drive every query, so collapse would only
+// save memory already paid for).
 type trieNode struct {
 	count    int
 	children []*trieNode
@@ -69,25 +195,40 @@ type trieNode struct {
 
 func (n *trieNode) insert(v id.ID, depth, b int) {
 	n.count++
-	if n.count == 1 {
-		n.sole = v
-		return
-	}
-	if depth == id.NumDigits(b) {
-		return // full depth; unique IDs never reach here twice
-	}
 	if n.children == nil {
-		n.children = make([]*trieNode, 1<<uint(b))
+		if n.count == 1 {
+			n.sole = v
+			return
+		}
+		if depth == id.NumDigits(b) {
+			return // full depth; unique IDs never reach here twice
+		}
+		n.children = make([]*trieNode, 1<<b)
 		// Push the previously sole occupant one level down.
 		d := n.sole.Digit(depth, b)
 		n.children[d] = &trieNode{}
 		n.children[d].insert(n.sole, depth+1, b)
+	}
+	if depth == id.NumDigits(b) {
+		return
 	}
 	d := v.Digit(depth, b)
 	if n.children[d] == nil {
 		n.children[d] = &trieNode{}
 	}
 	n.children[d].insert(v, depth+1, b)
+}
+
+// remove decrements the subtree counts along v's path. Emptied nodes stay
+// allocated; count == 0 makes them invisible to every query.
+func (n *trieNode) remove(v id.ID, depth, b int) {
+	n.count--
+	if n.children == nil || depth == id.NumDigits(b) {
+		return
+	}
+	if c := n.children[v.Digit(depth, b)]; c != nil {
+		c.remove(v, depth+1, b)
+	}
 }
 
 // childCount returns the number of IDs below child digit d, resolving
@@ -111,74 +252,97 @@ func (n *trieNode) childCount(d, depth, b int) int {
 // applying the paper's selection rule (c/2 closest successors and
 // predecessors, topped up from the other direction) to the full membership.
 func (t *Truth) PerfectLeafSet(self id.ID) []id.ID {
-	p, ok := t.pos[self]
-	if !ok {
+	p := t.indexOf(self)
+	if p < 0 {
 		return nil
 	}
+	// Candidate buffers only — the slot-count tables of a full
+	// measurement scratch are not needed on the leaf-set path.
+	scr := &measureScratch{
+		succ: make([]id.ID, 0, t.c),
+		pred: make([]id.ID, 0, t.c),
+	}
+	return t.appendPerfectLeafSet(nil, p, scr)
+}
+
+// appendPerfectLeafSet appends the perfect leaf set of the member at sorted
+// position p to dst, using scr's buffers for the candidate lists. It is the
+// allocation-free core of PerfectLeafSet.
+func (t *Truth) appendPerfectLeafSet(dst []id.ID, p int, scr *measureScratch) []id.ID {
+	self := t.sorted[p]
 	n := len(t.sorted)
 	others := n - 1
 	if others <= 0 {
-		return nil
+		return dst
 	}
 	// Candidates: up to c ring-neighbours in each direction. The final
-	// set is always a subset of these.
-	limit := t.c
-	if limit > others {
-		limit = others
-	}
-	succ := make([]id.ID, 0, limit)
-	pred := make([]id.ID, 0, limit)
-	for i := 1; i <= limit; i++ {
-		succ = append(succ, t.sorted[(p+i)%n])
-		pred = append(pred, t.sorted[(p-i+n)%n])
-	}
-	// Classify by ring half exactly as the protocol does. Clockwise
-	// neighbours beyond the antipode are really predecessors and vice
-	// versa; at practical sizes this never triggers, but small networks
-	// need it for exactness.
-	var realSucc, realPred []id.ID
-	seen := make(map[id.ID]struct{}, 2*limit)
-	for _, v := range succ {
-		if _, dup := seen[v]; dup {
-			continue
-		}
-		seen[v] = struct{}{}
+	// set is always a subset of these. Classify by ring half exactly as
+	// the protocol does: clockwise neighbours beyond the antipode are
+	// really predecessors and vice versa; at practical sizes this never
+	// triggers, but small networks need it for exactness.
+	limit := min(t.c, others)
+	realSucc := scr.succ[:0]
+	realPred := scr.pred[:0]
+	classify := func(v id.ID) {
 		if id.IsSuccessor(self, v) {
 			realSucc = append(realSucc, v)
 		} else {
 			realPred = append(realPred, v)
 		}
 	}
-	for _, v := range pred {
-		if _, dup := seen[v]; dup {
-			continue
+	if 2*limit <= others {
+		// The two candidate windows cannot overlap: no dedup needed.
+		for i := 1; i <= limit; i++ {
+			classify(t.sorted[(p+i)%n])
+			classify(t.sorted[(p-i+n)%n])
 		}
-		seen[v] = struct{}{}
-		if id.IsSuccessor(self, v) {
-			realSucc = append(realSucc, v)
-		} else {
-			realPred = append(realPred, v)
+	} else {
+		// Small network: the windows wrap into each other; dedup in the
+		// same order the candidates are considered (successor window
+		// first, then predecessor window).
+		if scr.seen == nil {
+			scr.seen = make(map[id.ID]struct{}, 2*limit)
+		}
+		clear(scr.seen)
+		for i := 1; i <= limit; i++ {
+			v := t.sorted[(p+i)%n]
+			if _, dup := scr.seen[v]; !dup {
+				scr.seen[v] = struct{}{}
+				classify(v)
+			}
+		}
+		for i := 1; i <= limit; i++ {
+			v := t.sorted[(p-i+n)%n]
+			if _, dup := scr.seen[v]; !dup {
+				scr.seen[v] = struct{}{}
+				classify(v)
+			}
 		}
 	}
-	sort.Slice(realSucc, func(i, j int) bool {
-		return id.Succ(self, realSucc[i]) < id.Succ(self, realSucc[j])
+	// slices.SortFunc, not sort.Slice: the reflection swapper of the
+	// latter allocates per call, which at one call per node per cycle
+	// dominates the measurement-plane allocation profile. The keys are
+	// distinct (distinct IDs, fixed self), so the order is total and the
+	// result algorithm-independent.
+	slices.SortFunc(realSucc, func(a, b id.ID) int {
+		return cmp.Compare(id.Succ(self, a), id.Succ(self, b))
 	})
-	sort.Slice(realPred, func(i, j int) bool {
-		return id.Pred(self, realPred[i]) < id.Pred(self, realPred[j])
+	slices.SortFunc(realPred, func(a, b id.ID) int {
+		return cmp.Compare(id.Pred(self, a), id.Pred(self, b))
 	})
+	scr.succ, scr.pred = realSucc, realPred
 	half := t.c / 2
-	nSucc := minInt(len(realSucc), half)
-	nPred := minInt(len(realPred), half)
+	nSucc := min(len(realSucc), half)
+	nPred := min(len(realPred), half)
 	if spare := t.c - nSucc - nPred; spare > 0 {
-		nSucc = minInt(len(realSucc), nSucc+spare)
+		nSucc = min(len(realSucc), nSucc+spare)
 	}
 	if spare := t.c - nSucc - nPred; spare > 0 {
-		nPred = minInt(len(realPred), nPred+spare)
+		nPred = min(len(realPred), nPred+spare)
 	}
-	out := make([]id.ID, 0, nSucc+nPred)
-	out = append(out, realSucc[:nSucc]...)
-	out = append(out, realPred[:nPred]...)
-	return out
+	dst = append(dst, realSucc[:nSucc]...)
+	dst = append(dst, realPred[:nPred]...)
+	return dst
 }
 
 // LeafSetMissingFor returns how many entries of the perfect leaf set for
@@ -204,7 +368,7 @@ func LeafSetMissingWith(perfect []id.ID, ls *core.LeafSet) (missing, total int) 
 // member IDs whose slot relative to self is (row, col). Rows beyond the
 // point where self is alone in its prefix subtree are all-zero and omitted.
 func (t *Truth) ExpectedSlotCounts(self id.ID) [][]int {
-	cols := 1 << uint(t.b)
+	cols := 1 << t.b
 	var out [][]int
 	node := t.root
 	for depth := 0; depth < id.NumDigits(t.b); depth++ {
@@ -212,24 +376,51 @@ func (t *Truth) ExpectedSlotCounts(self id.ID) [][]int {
 			break
 		}
 		row := make([]int, cols)
-		own := self.Digit(depth, t.b)
-		for j := 0; j < cols; j++ {
-			if j == own {
-				continue
-			}
-			avail := node.childCount(j, depth, t.b)
-			if avail > t.k {
-				avail = t.k
-			}
-			row[j] = avail
-		}
+		t.expectedRow(node, self, depth, row)
 		out = append(out, row)
 		if node.children == nil {
 			break
 		}
-		node = node.children[own]
+		node = node.children[self.Digit(depth, t.b)]
 	}
 	return out
+}
+
+// expectedRow fills row with the perfect per-column occupancy of the prefix
+// table row at the given depth, reading the trie node covering self's
+// depth-long prefix.
+func (t *Truth) expectedRow(node *trieNode, self id.ID, depth int, row []int) {
+	own := self.Digit(depth, t.b)
+	for j := range row {
+		if j == own {
+			row[j] = 0
+			continue
+		}
+		avail := node.childCount(j, depth, t.b)
+		if avail > t.k {
+			avail = t.k
+		}
+		row[j] = avail
+	}
+}
+
+// expectedSlotCountsInto is ExpectedSlotCounts writing into preallocated
+// rows (each cols wide); it returns the number of rows filled.
+func (t *Truth) expectedSlotCountsInto(self id.ID, rows [][]int) int {
+	node := t.root
+	used := 0
+	for depth := 0; depth < id.NumDigits(t.b); depth++ {
+		if node == nil || node.count <= 1 {
+			break
+		}
+		t.expectedRow(node, self, depth, rows[used])
+		used++
+		if node.children == nil {
+			break
+		}
+		node = node.children[self.Digit(depth, t.b)]
+	}
+	return used
 }
 
 // PrefixMissingFor returns how many perfect prefix-table entries are absent
@@ -270,7 +461,7 @@ func (t *Truth) PrefixMissingLive(self id.ID, pt *core.PrefixTable) (missing, to
 func (t *Truth) PrefixMissingLiveWith(expected [][]int, pt *core.PrefixTable) (missing, total, dead int) {
 	live := make(map[int]map[int]int, len(expected))
 	pt.Each(func(row, col int, d peer.Descriptor) bool {
-		if _, ok := t.pos[d.ID]; ok {
+		if _, ok := t.members[d.ID]; ok {
 			if live[row] == nil {
 				live[row] = make(map[int]int)
 			}
@@ -298,8 +489,13 @@ func (t *Truth) PrefixMissingLiveWith(expected [][]int, pt *core.PrefixTable) (m
 // LeafSetDead counts entries of ls that are not current members.
 func (t *Truth) LeafSetDead(ls *core.LeafSet) int {
 	dead := 0
-	for _, d := range ls.Slice() {
-		if _, ok := t.pos[d.ID]; !ok {
+	for _, d := range ls.Successors() {
+		if _, ok := t.members[d.ID]; !ok {
+			dead++
+		}
+	}
+	for _, d := range ls.Predecessors() {
+		if _, ok := t.members[d.ID]; !ok {
 			dead++
 		}
 	}
@@ -308,7 +504,7 @@ func (t *Truth) LeafSetDead(ls *core.LeafSet) int {
 
 // Contains reports whether nodeID is a current member.
 func (t *Truth) Contains(nodeID id.ID) bool {
-	_, ok := t.pos[nodeID]
+	_, ok := t.members[nodeID]
 	return ok
 }
 
@@ -331,9 +527,162 @@ func (t *Truth) AvailableAt(self id.ID, row, col int) int {
 	return node.childCount(col, row, t.b)
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
+// Member pairs a node's identity with the structures MeasureAll inspects.
+type Member struct {
+	Self  id.ID
+	Leaf  *core.LeafSet
+	Table *core.PrefixTable
+}
+
+// Aggregate is the network-wide sum of per-node measurements: raw integer
+// counts, so the result is exactly independent of how the measurement was
+// sharded (integer addition is associative and commutative).
+type Aggregate struct {
+	// LeafMissing/LeafTotal sum missing and perfect leaf entries.
+	LeafMissing, LeafTotal int
+	// PrefixMissing/PrefixTotal sum missing and perfect prefix entries
+	// (liveness-aware: only current members occupy slots).
+	PrefixMissing, PrefixTotal int
+	// LeafPerfect/PrefixPerfect count nodes whose structure is perfect.
+	LeafPerfect, PrefixPerfect int
+	// LeafDead/PrefixDead count structure entries naming departed nodes.
+	LeafDead, PrefixDead int
+}
+
+// measureScratch is the per-shard working memory of MeasureAll: candidate
+// and result buffers for perfect leaf sets, and two rows×cols tables for
+// expected and observed slot occupancy. One scratch per worker keeps the
+// shards false-sharing-free and the whole measurement allocation-free
+// after the first node.
+type measureScratch struct {
+	leaf       []id.ID
+	succ, pred []id.ID
+	seen       map[id.ID]struct{} // only used when candidate windows overlap
+	expected   [][]int
+	live       [][]int
+}
+
+func newMeasureScratch(t *Truth) *measureScratch {
+	rows, cols := id.NumDigits(t.b), 1<<t.b
+	scr := &measureScratch{
+		leaf:     make([]id.ID, 0, t.c),
+		succ:     make([]id.ID, 0, t.c),
+		pred:     make([]id.ID, 0, t.c),
+		expected: make([][]int, rows),
+		live:     make([][]int, rows),
 	}
-	return b
+	for i := 0; i < rows; i++ {
+		scr.expected[i] = make([]int, cols)
+		scr.live[i] = make([]int, cols)
+	}
+	return scr
+}
+
+// measureOne measures a single member into agg using scr's buffers. scr.live
+// must be all-zero on entry and is restored to all-zero before returning.
+func (t *Truth) measureOne(m Member, scr *measureScratch, agg *Aggregate) {
+	p := t.indexOf(m.Self)
+	if p < 0 {
+		return // not a member (harness bug); contribute nothing
+	}
+	scr.leaf = t.appendPerfectLeafSet(scr.leaf[:0], p, scr)
+	leafMiss := 0
+	for _, v := range scr.leaf {
+		if !m.Leaf.Contains(v) {
+			leafMiss++
+		}
+	}
+	agg.LeafMissing += leafMiss
+	agg.LeafTotal += len(scr.leaf)
+	if leafMiss == 0 {
+		agg.LeafPerfect++
+	}
+	agg.LeafDead += t.LeafSetDead(m.Leaf)
+
+	rows := t.expectedSlotCountsInto(m.Self, scr.expected)
+	maxRow := -1
+	m.Table.Each(func(row, col int, d peer.Descriptor) bool {
+		if _, ok := t.members[d.ID]; ok {
+			scr.live[row][col]++
+			if row > maxRow {
+				maxRow = row
+			}
+		} else {
+			agg.PrefixDead++
+		}
+		return true
+	})
+	prefMiss := 0
+	for i := 0; i < rows; i++ {
+		for j, want := range scr.expected[i] {
+			if want == 0 {
+				continue
+			}
+			agg.PrefixTotal += want
+			if have := scr.live[i][j]; have < want {
+				prefMiss += want - have
+			}
+		}
+	}
+	for i := 0; i <= maxRow; i++ {
+		clear(scr.live[i])
+	}
+	agg.PrefixMissing += prefMiss
+	if prefMiss == 0 {
+		agg.PrefixPerfect++
+	}
+}
+
+// MeasureAll measures every member against the oracle, sharding the work
+// across a pool of workers (workers < 1 means GOMAXPROCS). The aggregate is
+// a sum of per-node integer counts, so the result is bit-identical for
+// every worker count, including 1. Safe to call while other goroutines
+// read the measured structures' nodes only if those nodes are quiescent;
+// the oracle itself must not be mutated concurrently.
+func (t *Truth) MeasureAll(members []Member, workers int) Aggregate {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(members) {
+		workers = len(members)
+	}
+	if workers <= 1 {
+		var agg Aggregate
+		scr := newMeasureScratch(t)
+		for _, m := range members {
+			t.measureOne(m, scr, &agg)
+		}
+		return agg
+	}
+	partials := make([]Aggregate, workers)
+	chunk := (len(members) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(members))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			scr := newMeasureScratch(t)
+			for i := lo; i < hi; i++ {
+				t.measureOne(members[i], scr, &partials[w])
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var agg Aggregate
+	for _, p := range partials {
+		agg.LeafMissing += p.LeafMissing
+		agg.LeafTotal += p.LeafTotal
+		agg.PrefixMissing += p.PrefixMissing
+		agg.PrefixTotal += p.PrefixTotal
+		agg.LeafPerfect += p.LeafPerfect
+		agg.PrefixPerfect += p.PrefixPerfect
+		agg.LeafDead += p.LeafDead
+		agg.PrefixDead += p.PrefixDead
+	}
+	return agg
 }
