@@ -495,6 +495,49 @@ func BenchmarkTruthMeasureAll(b *testing.B) {
 	}
 }
 
+// BenchmarkMeasureSample is the acceptance benchmark for the sampled
+// measurement plane: at n=2^16 a MeasureSample(1024) measurement must be
+// >= 20x faster than the sharded full-network MeasureAll it replaces (it
+// measures 64x fewer nodes; sample selection is O(sample)). The sampled
+// estimate's intervals are exercised for correctness by the statistical
+// suite; this benchmark tracks the speed claim in CI (BENCH_pr4.json).
+func BenchmarkMeasureSample(b *testing.B) {
+	const n = 1 << 16
+	const sample = 1024
+	descs, ids := benchWorld(n, 25)
+	cfg := core.DefaultConfig()
+	tr, err := truth.New(ids, cfg.B, cfg.K, cfg.C)
+	if err != nil {
+		b.Fatal(err)
+	}
+	members := make([]truth.Member, n)
+	for i := range members {
+		ls := core.NewLeafSet(ids[i], cfg.C)
+		lo := i % (n - 40)
+		ls.Update(descs[lo : lo+40])
+		pt := core.NewPrefixTable(ids[i], cfg.B, cfg.K)
+		start := (i * 131) % (n - 96)
+		pt.AddAll(descs[start : start+96])
+		members[i] = truth.Member{Self: ids[i], Leaf: ls, Table: pt}
+	}
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.MeasureAll(members, 0)
+		}
+	})
+	b.Run(fmt.Sprintf("sample%d", sample), func(b *testing.B) {
+		rng := rand.New(rand.NewSource(99))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sa := tr.MeasureSample(members, sample, rng, 0)
+			if sa.Exact || sa.SampleSize != sample {
+				b.Fatalf("unexpected fallback: %+v", sa)
+			}
+		}
+	})
+}
+
 func BenchmarkTruthMeasureNode(b *testing.B) {
 	descs, ids := benchWorld(1<<14, 8)
 	cfg := core.DefaultConfig()

@@ -45,6 +45,7 @@ type options struct {
 	trials         int
 	workers        int
 	measureWorkers int
+	measureSample  int
 	cfg            core.Config
 }
 
@@ -63,6 +64,7 @@ func parseArgs(args []string) (*options, error) {
 		trials   = fs.Int("trials", 1, "independent seeds aggregated per size (mean/min/max series)")
 		workers  = fs.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 		measureW = fs.Int("measure-workers", 0, "goroutines sharding the per-cycle ground-truth measurement (0 = GOMAXPROCS; output is identical for any value)")
+		measureS = fs.Int("measure-sample", 0, "per-cycle measurement sample size with 95% confidence intervals (0 = exact full-network measurement)")
 		b        = fs.Int("b", core.DefaultB, "bits per digit")
 		k        = fs.Int("k", core.DefaultK, "entries per prefix-table slot")
 		c        = fs.Int("c", core.DefaultC, "leaf set size")
@@ -81,6 +83,7 @@ func parseArgs(args []string) (*options, error) {
 		trials:         *trials,
 		workers:        *workers,
 		measureWorkers: *measureW,
+		measureSample:  *measureS,
 		cfg: core.Config{
 			B: *b, K: *k, C: *c, CR: *cr, Delta: core.DefaultDelta,
 		},
@@ -111,6 +114,9 @@ func parseArgs(args []string) (*options, error) {
 	}
 	if o.measureWorkers < 0 {
 		return nil, fmt.Errorf("-measure-workers must not be negative, got %d", o.measureWorkers)
+	}
+	if o.measureSample < 0 {
+		return nil, fmt.Errorf("-measure-sample must not be negative, got %d", o.measureSample)
 	}
 	if o.trials > 1 {
 		if o.experiment != "fig3" && o.experiment != "fig4" {
@@ -182,6 +188,7 @@ func runConvergence(o *options, out io.Writer, drop float64, label string) error
 				Sampler:        o.sampler,
 				WarmupCycles:   o.warmup,
 				MeasureWorkers: o.measureWorkers,
+				MeasureSample:  o.measureSample,
 			})
 			if err != nil {
 				return err
@@ -210,6 +217,7 @@ func runConvergenceTrials(o *options, out io.Writer, drop float64, defCycles int
 			Sampler:        o.sampler,
 			WarmupCycles:   o.warmup,
 			MeasureWorkers: o.measureWorkers,
+			MeasureSample:  o.measureSample,
 		}, experiment.Seeds(o.seed, o.trials), o.workers)
 		if err != nil {
 			return err
@@ -237,6 +245,8 @@ func runChurn(o *options, out io.Writer) error {
 			Sampler:                 o.sampler,
 			WarmupCycles:            o.warmup,
 			Churn:                   experiment.Churn{Rate: 0.01, StartCycle: 0, StopCycle: 20},
+			MeasureWorkers:          o.measureWorkers,
+			MeasureSample:           o.measureSample,
 			KeepRunningAfterPerfect: true,
 		})
 		if err != nil {
@@ -265,6 +275,7 @@ func runMassJoin(o *options, out io.Writer) error {
 			Sampler:        o.sampler,
 			WarmupCycles:   o.warmup,
 			MeasureWorkers: o.measureWorkers,
+			MeasureSample:  o.measureSample,
 			Join:           experiment.Join{Cycle: 10, Count: n},
 		})
 		if err != nil {
@@ -294,6 +305,7 @@ func runScaling(o *options, out io.Writer) error {
 				Sampler:        o.sampler,
 				WarmupCycles:   o.warmup,
 				MeasureWorkers: o.measureWorkers,
+				MeasureSample:  o.measureSample,
 			})
 			if err != nil {
 				return err
@@ -333,6 +345,7 @@ func runAblation(o *options, out io.Writer) error {
 				Sampler:        o.sampler,
 				WarmupCycles:   o.warmup,
 				MeasureWorkers: o.measureWorkers,
+				MeasureSample:  o.measureSample,
 			})
 			if err != nil {
 				return err

@@ -14,6 +14,13 @@
 //	-workers int    concurrent trials; 0 = GOMAXPROCS (default 0)
 //	-measure-workers int  goroutines sharding the paused-world
 //	                measurement; 0 = GOMAXPROCS (default 0)
+//	-measure-sample int  per-cycle measurement sample size with 95%
+//	                confidence intervals; 0 = exact full measurement
+//	                (default 0)
+//	-sampler name   oracle|newscast sampling layer under the bootstrap
+//	                nodes (default "oracle")
+//	-warmup int     newscast warmup cycles before the bootstrap layer
+//	                starts; ignored for the oracle sampler (default 10)
 //	-scenario name  none|churn|partition|drop|latency (default "churn")
 //	-drop float     initial per-message loss probability (default 0)
 //	-latency dur    max delivery latency; min is latency/4 (default 0)
@@ -59,6 +66,9 @@ type options struct {
 	trials         int
 	workers        int
 	measureWorkers int
+	measureSample  int
+	sampler        experiment.SamplerKind
+	warmup         int
 	scenario       livenet.Scenario
 	drop           float64
 	latency        time.Duration
@@ -75,6 +85,9 @@ func parseArgs(args []string) (*options, error) {
 		trials   = fs.Int("trials", 4, "independent trials")
 		workers  = fs.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
 		measureW = fs.Int("measure-workers", 0, "goroutines sharding the paused-world measurement (0 = GOMAXPROCS)")
+		measureS = fs.Int("measure-sample", 0, "per-cycle measurement sample size with 95% confidence intervals (0 = exact full measurement)")
+		sampler  = fs.String("sampler", "oracle", "oracle|newscast sampling layer under the bootstrap nodes")
+		warmup   = fs.Int("warmup", 10, "newscast warmup cycles before the bootstrap layer starts (ignored for oracle)")
 		scenario = fs.String("scenario", "churn", "none|churn|partition|drop|latency")
 		drop     = fs.Float64("drop", 0, "initial per-message loss probability")
 		latency  = fs.Duration("latency", 0, "max delivery latency (min is latency/4)")
@@ -91,6 +104,8 @@ func parseArgs(args []string) (*options, error) {
 		trials:         *trials,
 		workers:        *workers,
 		measureWorkers: *measureW,
+		measureSample:  *measureS,
+		warmup:         *warmup,
 		drop:           *drop,
 		latency:        *latency,
 		period:         *period,
@@ -99,6 +114,9 @@ func parseArgs(args []string) (*options, error) {
 		inbox:          *inbox,
 	}
 	var err error
+	if o.sampler, err = experiment.ParseSampler(*sampler); err != nil {
+		return nil, err
+	}
 	if o.scenario, err = livenet.ParseScenario(*scenario); err != nil {
 		return nil, err
 	}
@@ -110,6 +128,12 @@ func parseArgs(args []string) (*options, error) {
 	}
 	if o.measureWorkers < 0 {
 		return nil, fmt.Errorf("-measure-workers must not be negative, got %d", o.measureWorkers)
+	}
+	if o.measureSample < 0 {
+		return nil, fmt.Errorf("-measure-sample must not be negative, got %d", o.measureSample)
+	}
+	if o.warmup < 0 {
+		return nil, fmt.Errorf("-warmup must not be negative, got %d", o.warmup)
 	}
 	return o, nil
 }
@@ -130,6 +154,9 @@ func run(args []string, out io.Writer) error {
 		InboxSize:      o.inbox,
 		Scenario:       o.scenario,
 		MeasureWorkers: o.measureWorkers,
+		MeasureSample:  o.measureSample,
+		Sampler:        o.sampler,
+		WarmupCycles:   o.warmup,
 		// Scenarios disturb the network mid-run; keep measuring the
 		// recovery tail instead of exiting on first perfection.
 		KeepRunningAfterPerfect: o.scenario.Schedule != nil,
@@ -142,8 +169,8 @@ func run(args []string, out io.Writer) error {
 	}
 	elapsed := time.Since(start).Round(time.Millisecond)
 
-	fmt.Fprintf(out, "# livesim n=%d trials=%d workers=%d scenario=%s drop=%.2f latency=%s period=%s cycles=%d elapsed=%s\n",
-		o.n, o.trials, o.workers, o.scenario.Name, o.drop, o.latency, res.Params.Period, o.cycles, elapsed)
+	fmt.Fprintf(out, "# livesim n=%d trials=%d workers=%d scenario=%s sampler=%s measure_sample=%d drop=%.2f latency=%s period=%s cycles=%d elapsed=%s\n",
+		o.n, o.trials, o.workers, o.scenario.Name, o.sampler, o.measureSample, o.drop, o.latency, res.Params.Period, o.cycles, elapsed)
 	if sched := res.Trials[0].Schedule; len(sched) > 0 {
 		fmt.Fprintf(out, "# fault plan (trial 0, seed %d):\n", seeds[0])
 		for _, e := range sched {

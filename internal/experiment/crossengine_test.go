@@ -91,3 +91,68 @@ func TestLiveCrossEngineEquivalence(t *testing.T) {
 		t.Error("an engine recorded no traffic")
 	}
 }
+
+// TestLiveCrossEngineSampledEstimator reruns the cross-engine comparison
+// with the sampled measurement plane enabled on both engines: the final
+// sampled means must agree within the overlap of their own confidence
+// intervals (plus the scheduling tolerance the full-measurement variant
+// grants). Both engines sample half the network per cycle, so agreement
+// here is evidence the estimator, not just the exact measurement, is
+// engine-independent.
+func TestLiveCrossEngineSampledEstimator(t *testing.T) {
+	const n = 96
+	const cycles = 40
+	const sample = n / 2
+	cfg := core.DefaultConfig()
+
+	sim, err := Run(Params{
+		N:              n,
+		Seed:           1,
+		Config:         cfg,
+		MaxCycles:      cycles,
+		MeasureWorkers: 2,
+		MeasureSample:  sample,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := RunLive(LiveParams{
+		N:              n,
+		Config:         cfg,
+		Period:         20 * time.Millisecond,
+		Cycles:         cycles,
+		MeasureWorkers: 2,
+		MeasureSample:  sample,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	simF, liveF := sim.Final(), live.Final()
+	t.Logf("simnet: converged_at=%d final=(%.4f ± %.4f, %.4f ± %.4f); livenet: converged_at=%d final=(%.4f ± %.4f, %.4f ± %.4f)",
+		sim.ConvergedAt, simF.LeafMissing, simF.LeafCI, simF.PrefixMissing, simF.PrefixCI,
+		live.ConvergedAt, liveF.LeafMissing, liveF.LeafCI, liveF.PrefixMissing, liveF.PrefixCI)
+
+	if sim.ConvergedAt < 0 {
+		t.Errorf("simnet sampled run did not converge in %d cycles", cycles)
+	}
+	if live.ConvergedAt < 0 {
+		t.Errorf("livenet sampled run did not converge in %d cycles", cycles)
+	}
+	if simF.SampleSize != sample || liveF.SampleSize != sample {
+		t.Errorf("final points not sampled: sim SampleSize=%d live SampleSize=%d, want %d",
+			simF.SampleSize, liveF.SampleSize, sample)
+	}
+	// CI-overlap agreement: the engines' estimates of the same quantity
+	// must be compatible given their own uncertainty claims, with the
+	// same absolute scheduling tolerance as the exact variant.
+	const tol = 0.02
+	if d := math.Abs(simF.LeafMissing - liveF.LeafMissing); d > simF.LeafCI+liveF.LeafCI+tol {
+		t.Errorf("sampled leaf estimates incompatible: |%v - %v| = %e > %e + %e + %v",
+			simF.LeafMissing, liveF.LeafMissing, d, simF.LeafCI, liveF.LeafCI, tol)
+	}
+	if d := math.Abs(simF.PrefixMissing - liveF.PrefixMissing); d > simF.PrefixCI+liveF.PrefixCI+tol {
+		t.Errorf("sampled prefix estimates incompatible: |%v - %v| = %e > %e + %e + %v",
+			simF.PrefixMissing, liveF.PrefixMissing, d, simF.PrefixCI, liveF.PrefixCI, tol)
+	}
+}

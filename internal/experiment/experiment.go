@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"strconv"
 
@@ -106,6 +107,21 @@ type Params struct {
 	// measurement aggregates integer counts, so every value produces
 	// bit-identical results; the protocol trace is untouched either way.
 	MeasureWorkers int
+	// MeasureSample, when positive and smaller than the live population,
+	// measures a uniform random node sample of that size per cycle
+	// instead of the full network, reporting ratio estimates with
+	// confidence intervals (truth.MeasureSample) — the paper itself
+	// plots means over node samples, and at paper scale full measurement
+	// costs seconds per cycle. Zero (the default) measures every node.
+	// Sampling touches only the measurement plane — the protocol trace
+	// is bit-identical either way — but a cycle whose sample shows zero
+	// missing entries counts as converged, so a sampled run may stop on
+	// an optimistic sample where a full measurement would continue.
+	MeasureSample int
+	// MeasureConfidence is the two-sided confidence level of the sampled
+	// estimator's intervals; 0 selects 0.95. Ignored for full
+	// measurement.
+	MeasureConfidence float64
 	// KeepRunningAfterPerfect continues until MaxCycles even after
 	// perfection, for steady-state studies.
 	KeepRunningAfterPerfect bool
@@ -140,6 +156,12 @@ func (p Params) Validate() error {
 	if p.MeasureWorkers < 0 {
 		return fmt.Errorf("experiment: MeasureWorkers = %d must not be negative", p.MeasureWorkers)
 	}
+	if p.MeasureSample < 0 {
+		return fmt.Errorf("experiment: MeasureSample = %d must not be negative", p.MeasureSample)
+	}
+	if p.MeasureConfidence < 0 || p.MeasureConfidence >= 1 {
+		return fmt.Errorf("experiment: MeasureConfidence = %v out of [0, 1)", p.MeasureConfidence)
+	}
 	return p.Config.Validate()
 }
 
@@ -166,6 +188,14 @@ type Point struct {
 	// the paper argues the prefix part keeps messages well under the
 	// full-table bound, which this exposes.
 	WireUnits int64
+	// LeafCI and PrefixCI are the half-widths of the sampled estimator's
+	// confidence intervals around LeafMissing/PrefixMissing; zero for a
+	// full (exact) measurement.
+	LeafCI, PrefixCI float64
+	// SampleSize is the number of nodes measured this cycle under
+	// sampled measurement (the perfect/dead node counts are then scaled
+	// projections); zero means every live node was measured exactly.
+	SampleSize int
 }
 
 // Result is the outcome of a run.
@@ -204,10 +234,13 @@ type runner struct {
 	p       Params
 	net     *simnet.Network
 	rng     *rand.Rand // harness-level randomness (offsets, churn picks)
-	idGen   *id.Generator
-	oracle  *sampling.Oracle
-	members []*member
-	byID    map[id.ID]*member
+	measRNG *rand.Rand // sampled-measurement draws; separate stream so
+	// enabling sampling never perturbs the protocol trace
+	idGen      *id.Generator
+	oracle     *sampling.Oracle
+	samplerSeq int64 // newscast sampler seed counter (spawn order)
+	members    []*member
+	byID       map[id.ID]*member
 	// tr is the trial's ground-truth oracle. It is built once and then
 	// mutated incrementally by churn/join deltas — never rebuilt per
 	// cycle (the measurement plane's dominant cost at paper scale).
@@ -221,6 +254,7 @@ func (r *runner) run() (*Result, error) {
 	p := r.p
 	r.net = simnet.New(simnet.Config{Seed: p.Seed, Drop: p.Drop})
 	r.rng = rand.New(rand.NewSource(p.Seed + 0x9e3779b9))
+	r.measRNG = rand.New(rand.NewSource(p.Seed + 0x5ca1ab1e))
 	r.idGen = id.NewGenerator(p.Seed + 0x7f4a7c15)
 	// Explicit initial IDs bypass the generator, so reserve them: later
 	// churn/join draws are then collision-free by construction (the
@@ -308,7 +342,11 @@ func (r *runner) spawn(d peer.Descriptor, bootstrapStart int64) (*member, error)
 		if err := r.net.Attach(d.Addr, newscast.ProtoID, m.nc, p.Config.Delta, r.rng.Int63n(p.Config.Delta)); err != nil {
 			return nil, fmt.Errorf("attach newscast: %w", err)
 		}
-		svc = m.nc
+		// The adapter draws from the co-located view through its own
+		// seeded stream instead of the node's engine RNG, and gives
+		// the bootstrap layer the AppendSampler fast path.
+		r.samplerSeq++
+		svc = newscast.NewSampler(m.nc, p.Seed+0x51*r.samplerSeq)
 	default:
 		svc = r.oracle
 	}
@@ -401,8 +439,12 @@ func (r *runner) measure(cycle int) Point {
 		ms = append(ms, truth.Member{Self: m.desc.ID, Leaf: m.boot.Leaf(), Table: m.boot.Table()})
 	}
 	r.measBuf = ms
-	agg := r.tr.MeasureAll(ms, r.p.MeasureWorkers)
 	st := r.net.Stats()
+	if r.p.MeasureSample > 0 {
+		sa := r.tr.MeasureSampleConf(ms, r.p.MeasureSample, r.p.MeasureConfidence, r.measRNG, r.p.MeasureWorkers)
+		return pointFromSampleAggregate(cycle, sa, len(alive), st.Sent, st.Dropped, st.WireUnits)
+	}
+	agg := r.tr.MeasureAll(ms, r.p.MeasureWorkers)
 	return pointFromAggregate(cycle, agg, len(alive), st.Sent, st.Dropped, st.WireUnits)
 }
 
@@ -430,9 +472,37 @@ func pointFromAggregate(cycle int, agg truth.Aggregate, alive int, sent, dropped
 	return pt
 }
 
+// pointFromSampleAggregate converts a sampled measurement into a Point:
+// estimated missing proportions with their interval half-widths, and the
+// per-node count metrics scaled from the sample to the live population.
+func pointFromSampleAggregate(cycle int, sa truth.SampleAggregate, alive int, sent, dropped, wireUnits int64) Point {
+	pt := pointFromAggregate(cycle, sa.Sums, alive, sent, dropped, wireUnits)
+	pt.LeafMissing = sa.LeafMissing.Mean
+	pt.PrefixMissing = sa.PrefixMissing.Mean
+	if sa.Exact {
+		return pt
+	}
+	pt.LeafCI, pt.PrefixCI = sa.LeafMissing.CI, sa.PrefixMissing.CI
+	pt.SampleSize = sa.SampleSize
+	scale := float64(sa.Population) / float64(sa.SampleSize)
+	pt.LeafPerfect = int(math.Round(float64(pt.LeafPerfect) * scale))
+	pt.PrefixPerfect = int(math.Round(float64(pt.PrefixPerfect) * scale))
+	pt.LeafDead = int(math.Round(float64(pt.LeafDead) * scale))
+	pt.PrefixDead = int(math.Round(float64(pt.PrefixDead) * scale))
+	return pt
+}
+
 // WriteCSV emits the per-cycle series with a header, one row per cycle.
+// Runs with sampled measurement grow ±ci and sample-size columns; full
+// measurement keeps the historical column set byte-identically (pinned by
+// the golden CSV test).
 func (res *Result) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "cycle,leaf_missing,prefix_missing,leaf_perfect_nodes,prefix_perfect_nodes,leaf_dead,prefix_dead,alive,sent,dropped,wire_units"); err != nil {
+	sampled := res.Params.MeasureSample > 0
+	header := "cycle,leaf_missing,prefix_missing,leaf_perfect_nodes,prefix_perfect_nodes,leaf_dead,prefix_dead,alive,sent,dropped,wire_units"
+	if sampled {
+		header += ",leaf_ci,prefix_ci,sample_size"
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for _, pt := range res.Points {
@@ -447,6 +517,11 @@ func (res *Result) WriteCSV(w io.Writer) error {
 			strconv.FormatInt(pt.Sent, 10) + "," +
 			strconv.FormatInt(pt.Dropped, 10) + "," +
 			strconv.FormatInt(pt.WireUnits, 10)
+		if sampled {
+			row += "," + strconv.FormatFloat(pt.LeafCI, 'e', 6, 64) +
+				"," + strconv.FormatFloat(pt.PrefixCI, 'e', 6, 64) +
+				"," + strconv.Itoa(pt.SampleSize)
+		}
 		if _, err := fmt.Fprintln(w, row); err != nil {
 			return err
 		}

@@ -1,6 +1,9 @@
 package experiment
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"testing"
 
 	"repro/internal/core"
@@ -59,6 +62,51 @@ func TestGoldenTrace(t *testing.T) {
 			}
 			if res.Stats != tc.stats {
 				t.Errorf("Stats = %+v, want %+v", res.Stats, tc.stats)
+			}
+		})
+	}
+}
+
+// TestGoldenCSVByteIdentical pins the full-measurement CSV output to
+// hashes captured immediately before the sampled measurement plane landed
+// (PR 4): with MeasureSample off, every byte of the emitted series —
+// header, formatting, and all measured values — must be identical to the
+// pre-estimator harness. This is the proof that sampling is purely opt-in:
+// neither the measurement plane rework nor the oracle's snapshot/stream
+// rewrite may perturb a default run.
+func TestGoldenCSVByteIdentical(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		bytes int
+		sum   string
+	}{
+		{name: "n256", n: 256, bytes: 515,
+			sum: "a4c1b6c21b8b74d99be288dfb1866bf03da03bb5557131c36336d870ee104b86"},
+		{name: "n1024", n: 1024, bytes: 718,
+			sum: "9d97478c075a1cb31310643ed283dd5427de223a9aa1f9f8f10b04e020e10a4f"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(Params{
+				N:         tc.n,
+				Seed:      42,
+				Config:    core.DefaultConfig(),
+				MaxCycles: 80,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := res.WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() != tc.bytes {
+				t.Errorf("CSV is %d bytes, want %d", buf.Len(), tc.bytes)
+			}
+			sum := sha256.Sum256(buf.Bytes())
+			if got := hex.EncodeToString(sum[:]); got != tc.sum {
+				t.Errorf("CSV sha256 = %s, want %s\n%s", got, tc.sum, buf.String())
 			}
 		})
 	}

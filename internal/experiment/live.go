@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/id"
 	"repro/internal/livenet"
+	"repro/internal/newscast"
 	"repro/internal/peer"
 	"repro/internal/sampling"
 	"repro/internal/truth"
@@ -51,6 +52,25 @@ type LiveParams struct {
 	// many goroutines (0 = GOMAXPROCS). The reported fractions are
 	// bit-identical for every value; only the paused window shrinks.
 	MeasureWorkers int
+	// MeasureSample, when positive and smaller than the live population,
+	// measures a uniform node sample per cycle instead of the whole
+	// network (see Params.MeasureSample) — under livenet it additionally
+	// shrinks the pause-the-world window from O(N) to O(sample).
+	MeasureSample int
+	// MeasureConfidence is the two-sided confidence level of the sampled
+	// estimator's intervals; 0 selects 0.95.
+	MeasureConfidence float64
+	// Sampler selects the sampling layer under the bootstrap nodes; the
+	// zero value means oracle. With SamplerOracle every node draws
+	// through its own lock-free oracle Stream; with SamplerNewscast a
+	// NEWSCAST instance runs on every host and the bootstrap layer
+	// samples its decentralized view through a newscast.Sampler.
+	Sampler SamplerKind
+	// WarmupCycles delays the bootstrap layer's start by this many
+	// periods so a NEWSCAST layer can randomise its views first (ignored
+	// for the oracle sampler). Warmup happens before cycle 0: measured
+	// cycles always cover a running bootstrap layer.
+	WarmupCycles int
 }
 
 // liveTicksPerCoreSecond is the sustained protocol-callback throughput
@@ -111,6 +131,15 @@ func (p LiveParams) Validate() error {
 	if p.MeasureWorkers < 0 {
 		return fmt.Errorf("experiment: live MeasureWorkers = %d must not be negative", p.MeasureWorkers)
 	}
+	if p.MeasureSample < 0 {
+		return fmt.Errorf("experiment: live MeasureSample = %d must not be negative", p.MeasureSample)
+	}
+	if p.MeasureConfidence < 0 || p.MeasureConfidence >= 1 {
+		return fmt.Errorf("experiment: live MeasureConfidence = %v out of [0, 1)", p.MeasureConfidence)
+	}
+	if p.WarmupCycles < 0 {
+		return fmt.Errorf("experiment: live WarmupCycles = %d must not be negative", p.WarmupCycles)
+	}
 	return p.Config.Validate()
 }
 
@@ -148,6 +177,7 @@ type liveMember struct {
 	desc  peer.Descriptor
 	host  *livenet.Host
 	node  *core.Node
+	nc    *newscast.Protocol // non-nil under SamplerNewscast
 	alive bool
 }
 
@@ -179,13 +209,32 @@ func RunLive(p LiveParams, seed int64) (*LiveResult, error) {
 	}
 	oracle := sampling.NewOracle(descs, seed+0x1234)
 	rng := rand.New(rand.NewSource(seed + 0x9e3779b9))
-	for _, m := range members {
-		node, err := core.NewNode(m.desc, p.Config, oracle)
+	measRNG := rand.New(rand.NewSource(seed + 0x5ca1ab1e))
+	warmup := time.Duration(0)
+	if p.Sampler == SamplerNewscast {
+		warmup = time.Duration(p.WarmupCycles) * p.Period
+	}
+	for i, m := range members {
+		// Each node samples through its own handle — an oracle Stream
+		// or a newscast Sampler — so the per-tick sample path never
+		// takes a shared lock: concurrent hosts do not contend.
+		var svc sampling.Service
+		if p.Sampler == SamplerNewscast {
+			m.nc = newscast.New(m.desc, oracle.Sample(5), newscast.DefaultViewSize)
+			ncOffset := time.Duration(rng.Int63n(int64(p.Period)))
+			if err := m.host.Attach(newscast.ProtoID, m.nc, p.Period, ncOffset); err != nil {
+				return nil, fmt.Errorf("attach newscast: %w", err)
+			}
+			svc = newscast.NewSampler(m.nc, seed+0x51*int64(i+1))
+		} else {
+			svc = oracle.Stream(int64(i))
+		}
+		node, err := core.NewNode(m.desc, p.Config, svc)
 		if err != nil {
 			return nil, err
 		}
 		m.node = node
-		offset := time.Duration(rng.Int63n(int64(p.Period)))
+		offset := warmup + time.Duration(rng.Int63n(int64(p.Period)))
 		if err := m.host.Attach(core.ProtoID, node, p.Period, offset); err != nil {
 			return nil, fmt.Errorf("attach bootstrap: %w", err)
 		}
@@ -203,6 +252,11 @@ func RunLive(p LiveParams, seed int64) (*LiveResult, error) {
 
 	if err := net.Start(); err != nil {
 		return nil, err
+	}
+	// Let the NEWSCAST layer gossip alone through the warmup window; the
+	// bootstrap bindings' offsets already delay their first tick past it.
+	if warmup > 0 {
+		time.Sleep(warmup)
 	}
 
 	// The trial's ground-truth oracle: built once, then patched with the
@@ -242,9 +296,15 @@ func RunLive(p LiveParams, seed int64) (*LiveResult, error) {
 			ms = append(ms, truth.Member{Self: m.desc.ID, Leaf: m.node.Leaf(), Table: m.node.Table()})
 		}
 		measBuf = ms
-		agg := tr.MeasureAll(ms, p.MeasureWorkers)
+		var pt Point
 		st := net.Snapshot()
-		pt := pointFromAggregate(cycle, agg, alive, st.Sent, st.Dropped, 0)
+		if p.MeasureSample > 0 {
+			sa := tr.MeasureSampleConf(ms, p.MeasureSample, p.MeasureConfidence, measRNG, p.MeasureWorkers)
+			pt = pointFromSampleAggregate(cycle, sa, alive, st.Sent, st.Dropped, 0)
+		} else {
+			agg := tr.MeasureAll(ms, p.MeasureWorkers)
+			pt = pointFromAggregate(cycle, agg, alive, st.Sent, st.Dropped, 0)
+		}
 		net.ResumeAll()
 
 		res.Points = append(res.Points, pt)
@@ -436,5 +496,5 @@ func (tr *LiveTrialsResult) TotalStats() livenet.Stats {
 
 // WriteCSV emits the aggregate per-cycle series with a header.
 func (tr *LiveTrialsResult) WriteCSV(w io.Writer) error {
-	return writeAggCSV(w, tr.Agg)
+	return writeAggCSV(w, tr.Agg, tr.Params.MeasureSample > 0)
 }

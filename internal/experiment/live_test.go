@@ -63,6 +63,29 @@ func TestLiveRunConvergesFailureFree(t *testing.T) {
 	}
 }
 
+// TestLiveNewscastSamplerConverges runs the full two-layer stack on the
+// concurrent runtime: NEWSCAST gossips on every host, the bootstrap layer
+// samples its decentralized view through the newscast.Sampler adapter —
+// no oracle on the data plane at all. Sampled measurement rides along so
+// the whole new measurement path runs under -race in the live CI job.
+func TestLiveNewscastSamplerConverges(t *testing.T) {
+	p := quickLiveParams(48, 40)
+	p.Period = 20 * time.Millisecond
+	p.Sampler = SamplerNewscast
+	p.WarmupCycles = 5
+	p.MeasureSample = 24
+	res, err := RunLive(p, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConvergedAt < 0 {
+		t.Errorf("two-layer live stack did not converge: final %+v", res.Final())
+	}
+	if st := res.Stats; st.Sent != st.Delivered+st.Dropped+st.Overflow {
+		t.Errorf("counters not conserved: %+v", st)
+	}
+}
+
 func TestLiveTrialsChurnCampaign(t *testing.T) {
 	p := quickLiveParams(48, 16)
 	p.Scenario = livenet.ScenarioChurn

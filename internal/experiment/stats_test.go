@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/truth"
+)
+
+// TestStatSampleCoverage is the statistical regression for the sampled
+// measurement plane: on realistic protocol state — n=4096 mid-bootstrap
+// under 1% per-cycle churn — MeasureSample(512)'s 95% confidence intervals
+// must cover MeasureAll's exact missing proportions in at least 93 of 100
+// sampling trials, per metric. Every input is seeded (the simulation, the
+// oracle, all 100 sample draws), so the covered counts are fixed numbers:
+// this test cannot flake, only regress.
+func TestStatSampleCoverage(t *testing.T) {
+	p := Params{
+		N:         4096,
+		Seed:      0xC0FFEE,
+		Config:    core.DefaultConfig(),
+		MaxCycles: 6,
+		Sampler:   SamplerOracle,
+		// Churn through the whole run keeps the structures imperfect:
+		// a converged population has zero variance and nothing to cover.
+		Churn:                   Churn{Rate: 0.01, StartCycle: 0, StopCycle: 1 << 20},
+		KeepRunningAfterPerfect: true,
+		MeasureWorkers:          2,
+	}
+	r := &runner{p: p}
+	if _, err := r.run(); err != nil {
+		t.Fatal(err)
+	}
+	// The runner's members and incremental truth oracle survive the run;
+	// measure the final (post-churn) state directly.
+	alive := r.aliveMembers()
+	ms := make([]truth.Member, 0, len(alive))
+	for _, m := range alive {
+		ms = append(ms, truth.Member{Self: m.desc.ID, Leaf: m.boot.Leaf(), Table: m.boot.Table()})
+	}
+	exact := r.tr.MeasureAll(ms, 2)
+	exactLeaf := float64(exact.LeafMissing) / float64(exact.LeafTotal)
+	exactPrefix := float64(exact.PrefixMissing) / float64(exact.PrefixTotal)
+	if exactLeaf == 0 || exactPrefix == 0 {
+		t.Fatalf("population fully converged (leaf=%v prefix=%v); the coverage test needs imperfect state", exactLeaf, exactPrefix)
+	}
+
+	const trials, sampleSize, wantCovered = 100, 512, 93
+	leafCovered, prefixCovered := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(0x9999 + trial*7919)))
+		sa := r.tr.MeasureSample(ms, sampleSize, rng, 2)
+		if sa.Exact || sa.SampleSize != sampleSize {
+			t.Fatalf("trial %d: expected a true sample, got %+v", trial, sa)
+		}
+		if sa.LeafMissing.Covers(exactLeaf) {
+			leafCovered++
+		}
+		if sa.PrefixMissing.Covers(exactPrefix) {
+			prefixCovered++
+		}
+	}
+	t.Logf("exact leaf=%.6f prefix=%.6f; coverage leaf=%d/100 prefix=%d/100",
+		exactLeaf, exactPrefix, leafCovered, prefixCovered)
+	if leafCovered < wantCovered {
+		t.Errorf("leaf CI covered the exact value in %d/100 trials, want >= %d", leafCovered, wantCovered)
+	}
+	if prefixCovered < wantCovered {
+		t.Errorf("prefix CI covered the exact value in %d/100 trials, want >= %d", prefixCovered, wantCovered)
+	}
+}
+
+// TestStatSampledRunMatchesFullTrend runs the same seeded experiment twice
+// — full measurement and sampled measurement — and checks (a) the protocol
+// trace is bit-identical (sampling must never leak into the data plane)
+// and (b) each cycle's sampled estimate tracks the full measurement within
+// a few interval widths.
+func TestStatSampledRunMatchesFullTrend(t *testing.T) {
+	base := Params{
+		N:         512,
+		Seed:      77,
+		Config:    core.DefaultConfig(),
+		MaxCycles: 12,
+		// Keep both runs measuring every cycle so the series align.
+		KeepRunningAfterPerfect: true,
+	}
+	full, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := base
+	sp.MeasureSample = 128
+	sampled, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats != sampled.Stats {
+		t.Fatalf("sampled measurement disturbed the protocol trace: %+v != %+v", sampled.Stats, full.Stats)
+	}
+	if len(full.Points) != len(sampled.Points) {
+		t.Fatalf("series lengths differ: %d vs %d", len(full.Points), len(sampled.Points))
+	}
+	for i := range full.Points {
+		f, s := full.Points[i], sampled.Points[i]
+		if s.SampleSize != sp.MeasureSample {
+			t.Fatalf("cycle %d: SampleSize = %d, want %d", i, s.SampleSize, sp.MeasureSample)
+		}
+		// 4x the half-width plus absolute slack: a per-cycle bound loose
+		// enough to never trip on an honest estimator, tight enough to
+		// catch a broken one.
+		if d := s.LeafMissing - f.LeafMissing; d > 4*s.LeafCI+0.02 || d < -4*s.LeafCI-0.02 {
+			t.Errorf("cycle %d: sampled leaf %v ± %v far from exact %v", i, s.LeafMissing, s.LeafCI, f.LeafMissing)
+		}
+		if d := s.PrefixMissing - f.PrefixMissing; d > 4*s.PrefixCI+0.02 || d < -4*s.PrefixCI-0.02 {
+			t.Errorf("cycle %d: sampled prefix %v ± %v far from exact %v", i, s.PrefixMissing, s.PrefixCI, f.PrefixMissing)
+		}
+	}
+}

@@ -22,6 +22,9 @@ type AggPoint struct {
 	// ConvergedFrac is the fraction of trials whose ConvergedAt is at or
 	// before this cycle.
 	ConvergedFrac float64
+	// LeafCIMean/PrefixCIMean average the per-trial estimator interval
+	// half-widths; zero under full measurement.
+	LeafCIMean, PrefixCIMean float64
 }
 
 // TrialsResult is the outcome of a multi-trial campaign.
@@ -156,6 +159,8 @@ func aggregateSeries(series [][]Point, convergedAt []int) []AggPoint {
 			}
 			a.LeafMean += pt.LeafMissing
 			a.PrefixMean += pt.PrefixMissing
+			a.LeafCIMean += pt.LeafCI
+			a.PrefixCIMean += pt.PrefixCI
 			if i == 0 || pt.LeafMissing < a.LeafMin {
 				a.LeafMin = pt.LeafMissing
 			}
@@ -174,6 +179,8 @@ func aggregateSeries(series [][]Point, convergedAt []int) []AggPoint {
 		}
 		a.LeafMean /= float64(len(series))
 		a.PrefixMean /= float64(len(series))
+		a.LeafCIMean /= float64(len(series))
+		a.PrefixCIMean /= float64(len(series))
 		a.ConvergedFrac = float64(converged) / float64(len(series))
 		agg = append(agg, a)
 	}
@@ -191,14 +198,21 @@ func (tr *TrialsResult) ConvergedTrials() int {
 	return n
 }
 
-// WriteCSV emits the aggregate per-cycle series with a header.
+// WriteCSV emits the aggregate per-cycle series with a header. Campaigns
+// run with sampled measurement grow ±ci columns.
 func (tr *TrialsResult) WriteCSV(w io.Writer) error {
-	return writeAggCSV(w, tr.Agg)
+	return writeAggCSV(w, tr.Agg, tr.Params.MeasureSample > 0)
 }
 
-// writeAggCSV is the shared CSV emitter for aggregate series.
-func writeAggCSV(w io.Writer, agg []AggPoint) error {
-	if _, err := fmt.Fprintln(w, "cycle,trials,leaf_missing_mean,leaf_missing_min,leaf_missing_max,prefix_missing_mean,prefix_missing_min,prefix_missing_max,converged_frac"); err != nil {
+// writeAggCSV is the shared CSV emitter for aggregate series; sampled adds
+// the estimator interval columns, keeping full-measurement output
+// byte-identical to the historical format.
+func writeAggCSV(w io.Writer, agg []AggPoint, sampled bool) error {
+	header := "cycle,trials,leaf_missing_mean,leaf_missing_min,leaf_missing_max,prefix_missing_mean,prefix_missing_min,prefix_missing_max,converged_frac"
+	if sampled {
+		header += ",leaf_ci_mean,prefix_ci_mean"
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for _, a := range agg {
@@ -211,6 +225,10 @@ func writeAggCSV(w io.Writer, agg []AggPoint) error {
 			strconv.FormatFloat(a.PrefixMin, 'e', 6, 64) + "," +
 			strconv.FormatFloat(a.PrefixMax, 'e', 6, 64) + "," +
 			strconv.FormatFloat(a.ConvergedFrac, 'f', 4, 64)
+		if sampled {
+			row += "," + strconv.FormatFloat(a.LeafCIMean, 'e', 6, 64) +
+				"," + strconv.FormatFloat(a.PrefixCIMean, 'e', 6, 64)
+		}
 		if _, err := fmt.Fprintln(w, row); err != nil {
 			return err
 		}

@@ -5,11 +5,21 @@
 // The bootstrapping service only ever consumes this interface, so it can run
 // over the gossip-based NEWSCAST implementation (package newscast) or, for
 // isolating layers in experiments and tests, over the oracle.
+//
+// The oracle is structured for the concurrent (livenet) engine: the
+// membership lives in an immutable snapshot behind an atomic pointer,
+// mutated copy-on-write by Add/Remove, and each concurrent consumer draws
+// through its own Stream — a private, deterministically seeded RNG plus
+// scratch — so the per-tick sample path never takes a lock and never
+// contends. The Oracle's own Sample/AppendSample methods are the shared
+// default stream, serialised by a mutex for backwards compatibility; the
+// deterministic simulator keeps using them so seeded traces are unchanged.
 package sampling
 
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/id"
 	"repro/internal/peer"
@@ -36,12 +46,28 @@ type AppendSampler interface {
 // membership list. It models a perfectly converged sampling layer, which is
 // the paper's operating assumption for the bootstrap experiments ("we are
 // given a network where the sampling service is already functional").
+//
+// The membership is an immutable snapshot behind an atomic pointer:
+// readers (samplers) load it lock-free, writers (Add/Remove) publish a
+// fresh copy under a writer-only mutex. Sample/AppendSample on the Oracle
+// itself draw from a shared default RNG stream guarded by a mutex — safe
+// for concurrent use and sequence-identical to the pre-snapshot
+// implementation for a given seed. Concurrent hot paths should draw
+// through per-caller Stream handles instead, which never contend.
 type Oracle struct {
-	mu      sync.Mutex
-	rng     *rand.Rand
-	members []peer.Descriptor
-	pos     map[id.ID]int
-	scratch []int // drawn member indices of the in-progress sample
+	seed int64
+	snap atomic.Pointer[[]peer.Descriptor]
+
+	// wmu serialises writers only; pos locates members for Remove and
+	// deduplicates Add, and is touched only under wmu.
+	wmu sync.Mutex
+	pos map[id.ID]int
+
+	// def is the shared default stream behind Sample/AppendSample,
+	// serialised by defMu so the Oracle itself stays safe for concurrent
+	// use (harness code, tests, the single-threaded simulator).
+	defMu sync.Mutex
+	def   Stream
 }
 
 var (
@@ -50,34 +76,88 @@ var (
 )
 
 // NewOracle returns an Oracle over the given membership, seeded
-// deterministically.
+// deterministically. The default stream consumes its RNG exactly like the
+// historical mutexed implementation, so seeded simulator traces are
+// byte-identical.
 func NewOracle(members []peer.Descriptor, seed int64) *Oracle {
 	o := &Oracle{
-		rng: rand.New(rand.NewSource(seed)),
-		pos: make(map[id.ID]int, len(members)),
+		seed: seed,
+		pos:  make(map[id.ID]int, len(members)),
 	}
-	o.members = make([]peer.Descriptor, len(members))
-	copy(o.members, members)
-	for i, m := range o.members {
+	snap := make([]peer.Descriptor, len(members))
+	copy(snap, members)
+	for i, m := range snap {
 		o.pos[m.ID] = i
 	}
+	o.snap.Store(&snap)
+	o.def = Stream{o: o, rng: rand.New(rand.NewSource(seed))}
 	return o
 }
 
-// Sample returns up to n distinct uniformly random members.
+// members returns the current membership snapshot (never nil to callers;
+// the slice must not be mutated).
+func (o *Oracle) members() []peer.Descriptor {
+	return *o.snap.Load()
+}
+
+// Sample returns up to n distinct uniformly random members, drawn from the
+// shared default stream.
 func (o *Oracle) Sample(n int) []peer.Descriptor {
 	return o.AppendSample(nil, n)
 }
 
+// AppendSample appends up to n distinct uniformly random members to dst,
+// drawn from the shared default stream. It allocates nothing beyond what
+// dst needs to grow, and consumes the stream's RNG exactly like Sample, so
+// the two are interchangeable without disturbing a seeded run.
+func (o *Oracle) AppendSample(dst []peer.Descriptor, n int) []peer.Descriptor {
+	o.defMu.Lock()
+	defer o.defMu.Unlock()
+	return o.def.AppendSample(dst, n)
+}
+
+// Stream returns a sampling handle with its own deterministic RNG stream
+// and scratch, reading the shared membership snapshot lock-free. Streams
+// with the same (oracle seed, key) draw identical sequences over identical
+// membership histories — seed-stable — and distinct keys draw independent
+// streams. A Stream is for a single caller: it must not be used from more
+// than one goroutine at a time (each concurrent consumer takes its own),
+// but any number of Streams may run concurrently with each other and with
+// Add/Remove without contending.
+func (o *Oracle) Stream(key int64) *Stream {
+	// SplitMix64-style key whitening so adjacent keys land on distant
+	// rand.Source states.
+	mixed := int64(uint64(o.seed) ^ (0x9e3779b97f4a7c15 * (uint64(key) + 1)))
+	return &Stream{o: o, rng: rand.New(rand.NewSource(mixed))}
+}
+
+// Stream is a single-caller view of an Oracle: a private RNG stream plus
+// scratch over the shared lock-free membership snapshot. It implements
+// Service and AppendSampler; the sample path takes no lock.
+type Stream struct {
+	o       *Oracle
+	rng     *rand.Rand
+	scratch []int // drawn member indices of the in-progress sample
+}
+
+var (
+	_ Service       = (*Stream)(nil)
+	_ AppendSampler = (*Stream)(nil)
+)
+
+// Sample returns up to n distinct uniformly random members.
+func (s *Stream) Sample(n int) []peer.Descriptor {
+	return s.AppendSample(nil, n)
+}
+
 // AppendSample appends up to n distinct uniformly random members to dst.
 // It allocates nothing beyond what dst needs to grow, and consumes the
-// oracle's RNG exactly like Sample, so the two are interchangeable without
-// disturbing a seeded run.
-func (o *Oracle) AppendSample(dst []peer.Descriptor, n int) []peer.Descriptor {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	if n > len(o.members) {
-		n = len(o.members)
+// stream's RNG exactly like Sample, so the two are interchangeable without
+// disturbing a seeded sequence.
+func (s *Stream) AppendSample(dst []peer.Descriptor, n int) []peer.Descriptor {
+	members := s.o.members()
+	if n > len(members) {
+		n = len(members)
 	}
 	if n <= 0 {
 		return dst
@@ -85,9 +165,9 @@ func (o *Oracle) AppendSample(dst []peer.Descriptor, n int) []peer.Descriptor {
 	// Rejection sampling with a linear duplicate scan. For the small n
 	// used by the protocols (cr <= 100) relative to membership size,
 	// this is cheaper than a partial Fisher-Yates and allocation-free.
-	drawn := o.scratch[:0]
+	drawn := s.scratch[:0]
 	for len(drawn) < n {
-		i := o.rng.Intn(len(o.members))
+		i := s.rng.Intn(len(members))
 		dup := false
 		for _, j := range drawn {
 			if i == j {
@@ -99,43 +179,54 @@ func (o *Oracle) AppendSample(dst []peer.Descriptor, n int) []peer.Descriptor {
 			continue
 		}
 		drawn = append(drawn, i)
-		dst = append(dst, o.members[i])
+		dst = append(dst, members[i])
 	}
-	o.scratch = drawn
+	s.scratch = drawn
 	return dst
 }
 
-// Add inserts a member (idempotent by ID). Used by churn models.
+// Add inserts a member (idempotent by ID), publishing a fresh snapshot.
+// Used by churn models.
 func (o *Oracle) Add(d peer.Descriptor) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
 	if _, dup := o.pos[d.ID]; dup {
 		return
 	}
-	o.pos[d.ID] = len(o.members)
-	o.members = append(o.members, d)
+	cur := o.members()
+	next := make([]peer.Descriptor, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = d
+	o.pos[d.ID] = len(cur)
+	o.snap.Store(&next)
 }
 
-// Remove deletes a member by ID, if present. Used by churn models.
+// Remove deletes a member by ID, if present, publishing a fresh snapshot.
+// It preserves the historical swap-delete ordering (the last member moves
+// into the hole), so default-stream sequences under a fixed seed are
+// unchanged. Used by churn models.
 func (o *Oracle) Remove(nodeID id.ID) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
 	i, ok := o.pos[nodeID]
 	if !ok {
 		return
 	}
-	last := len(o.members) - 1
-	o.members[i] = o.members[last]
-	o.pos[o.members[i].ID] = i
-	o.members = o.members[:last]
+	cur := o.members()
+	last := len(cur) - 1
+	next := make([]peer.Descriptor, last)
+	copy(next, cur[:last])
+	if i < last {
+		next[i] = cur[last]
+		o.pos[next[i].ID] = i
+	}
 	delete(o.pos, nodeID)
+	o.snap.Store(&next)
 }
 
-// Len returns the current membership size.
+// Len returns the current membership size, lock-free.
 func (o *Oracle) Len() int {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return len(o.members)
+	return len(o.members())
 }
 
 // Fixed is a Service returning a static list, useful in unit tests.

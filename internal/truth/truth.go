@@ -578,26 +578,30 @@ func newMeasureScratch(t *Truth) *measureScratch {
 	return scr
 }
 
-// measureOne measures a single member into agg using scr's buffers. scr.live
-// must be all-zero on entry and is restored to all-zero before returning.
-func (t *Truth) measureOne(m Member, scr *measureScratch, agg *Aggregate) {
+// nodeCounts is the raw per-node measurement — the unit both MeasureAll
+// (which sums them into an Aggregate) and MeasureSample (which additionally
+// needs per-node values for the estimator's variance) are built from.
+type nodeCounts struct {
+	leafMissing, leafTotal, leafDead       int
+	prefixMissing, prefixTotal, prefixDead int
+}
+
+// measureNode measures a single member using scr's buffers. scr.live must
+// be all-zero on entry and is restored to all-zero before returning. ok is
+// false for a non-member (harness bug), which contributes nothing.
+func (t *Truth) measureNode(m Member, scr *measureScratch) (nc nodeCounts, ok bool) {
 	p := t.indexOf(m.Self)
 	if p < 0 {
-		return // not a member (harness bug); contribute nothing
+		return nodeCounts{}, false
 	}
 	scr.leaf = t.appendPerfectLeafSet(scr.leaf[:0], p, scr)
-	leafMiss := 0
 	for _, v := range scr.leaf {
 		if !m.Leaf.Contains(v) {
-			leafMiss++
+			nc.leafMissing++
 		}
 	}
-	agg.LeafMissing += leafMiss
-	agg.LeafTotal += len(scr.leaf)
-	if leafMiss == 0 {
-		agg.LeafPerfect++
-	}
-	agg.LeafDead += t.LeafSetDead(m.Leaf)
+	nc.leafTotal = len(scr.leaf)
+	nc.leafDead = t.LeafSetDead(m.Leaf)
 
 	rows := t.expectedSlotCountsInto(m.Self, scr.expected)
 	maxRow := -1
@@ -608,28 +612,49 @@ func (t *Truth) measureOne(m Member, scr *measureScratch, agg *Aggregate) {
 				maxRow = row
 			}
 		} else {
-			agg.PrefixDead++
+			nc.prefixDead++
 		}
 		return true
 	})
-	prefMiss := 0
 	for i := 0; i < rows; i++ {
 		for j, want := range scr.expected[i] {
 			if want == 0 {
 				continue
 			}
-			agg.PrefixTotal += want
+			nc.prefixTotal += want
 			if have := scr.live[i][j]; have < want {
-				prefMiss += want - have
+				nc.prefixMissing += want - have
 			}
 		}
 	}
 	for i := 0; i <= maxRow; i++ {
 		clear(scr.live[i])
 	}
-	agg.PrefixMissing += prefMiss
-	if prefMiss == 0 {
+	return nc, true
+}
+
+// addTo folds one node's counts into the network aggregate — the single
+// accumulation shared by the full (MeasureAll) and sampled (MeasureSample)
+// paths, so a new metric cannot diverge between them.
+func (nc nodeCounts) addTo(agg *Aggregate) {
+	agg.LeafMissing += nc.leafMissing
+	agg.LeafTotal += nc.leafTotal
+	if nc.leafMissing == 0 {
+		agg.LeafPerfect++
+	}
+	agg.LeafDead += nc.leafDead
+	agg.PrefixMissing += nc.prefixMissing
+	agg.PrefixTotal += nc.prefixTotal
+	if nc.prefixMissing == 0 {
 		agg.PrefixPerfect++
+	}
+	agg.PrefixDead += nc.prefixDead
+}
+
+// measureOne measures a single member into agg using scr's buffers.
+func (t *Truth) measureOne(m Member, scr *measureScratch, agg *Aggregate) {
+	if nc, ok := t.measureNode(m, scr); ok {
+		nc.addTo(agg)
 	}
 }
 
