@@ -29,7 +29,11 @@ func TestEventLoopZeroAllocs(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	net.Run(100) // warm: queue and pool reach steady-state size
+	// Warm: queue and message pool reach steady-state size. One full lap
+	// of the calendar queue's 256-slot bucket ring (256 virtual time
+	// units), so every ring slot has grown to its high-water capacity
+	// before measurement.
+	net.Run(3000)
 	avg := testing.AllocsPerRun(50, func() {
 		net.Run(net.Now() + 10)
 	})
@@ -62,7 +66,10 @@ func TestCreateMessageViaTickAllocs(t *testing.T) {
 	}
 	nd.Leaf().Update(descs[1:100])
 	nd.Table().AddAll(descs)
-	net.Run(cfg.Delta * 4) // warm scratch buffers and the message pool
+	// Warm scratch buffers, the message pool, and one full lap of the
+	// calendar queue's 256-slot bucket ring (each tick instant lands in a
+	// fresh ring slot until the cursor wraps).
+	net.Run(cfg.Delta * 300)
 	avg := testing.AllocsPerRun(100, func() {
 		net.Run(net.Now() + cfg.Delta)
 	})

@@ -365,7 +365,7 @@ func BenchmarkEventLoop(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	net.Run(100) // warm: queue and pool reach steady-state size
+	net.Run(3000) // warm: queue (one bucket-ring lap) and pool reach steady-state size
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

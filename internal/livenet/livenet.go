@@ -13,17 +13,18 @@
 package livenet
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/peer"
 	"repro/internal/proto"
+	"repro/internal/sched"
 )
 
 // Config parameterises the runtime. Drop and the latency bounds are only
@@ -656,7 +657,7 @@ func (n *Network) send(from, to peer.Addr, pid proto.ProtoID, msg proto.Message)
 		n.deliver(dst, cmd)
 		return
 	}
-	n.wire.enqueue(time.Now().Add(lat), dst, cmd)
+	n.wire.enqueue(from, lat, dst, cmd)
 }
 
 // deliver places the command in the destination inbox. Messages for dead
@@ -683,49 +684,102 @@ func (n *Network) deliver(dst *Host, cmd command) {
 	}
 }
 
-// wire models propagation delay: a single goroutine holds a min-heap of
-// in-flight messages ordered by delivery time. Replacing per-message
-// time.AfterFunc keeps shutdown deterministic — Close drains the heap and
-// counts stranded messages as dropped — and scales to 10k+ hosts without
-// spawning a timer goroutine per message.
+// wire models propagation delay with sharded timing wheels: each shard is a
+// calendar queue (internal/sched) of in-flight messages keyed on
+// nanoseconds since the wire's epoch, guarded by its own mutex, and a
+// single sweeper goroutine harvests expired entries from every shard.
+// Senders hash to a shard by their own address, so concurrent
+// latency-delayed sends from different hosts never contend on one lock —
+// the old single `wire.mu` + container/heap was the last global mutex on
+// the live data plane (and its interface{} boxing the last reflection on
+// the send path). Replacing per-message time.AfterFunc with the wheels also
+// keeps shutdown deterministic — Close drains the shards and counts
+// stranded messages as dropped — and scales to 10k+ hosts without a timer
+// goroutine per message.
 type wire struct {
-	net  *Network
+	net    *Network
+	epoch  time.Time // monotonic zero for wheel deadlines
+	shards []wireShard
+	mask   uint32
+	wake   chan struct{}
+	// scratch collects due flights under each shard lock so delivery (and
+	// message recycling) runs with no lock held. Sweeper-goroutine-only.
+	scratch []flight
+}
+
+// wireShard is one lock-striped timing wheel. next is the earliest deadline
+// the sweeper has promised to service for this shard (MaxInt64 when it
+// believes the shard is empty); an enqueue with a strictly earlier deadline
+// must wake the sweeper, and only such an enqueue must — comparing against
+// the sweeper's promise rather than the heap head fixes the old wake check
+// (`w.heap[0].at == at`), which compared by value and could both miss a new
+// earliest deadline and fire spuriously on ties.
+//
+// No padding against false sharing: sched.Queue is several cache lines of
+// slice headers on its own, so adjacent shards' hot words already land on
+// distinct lines.
+type wireShard struct {
 	mu   sync.Mutex
-	heap flightHeap
-	wake chan struct{}
+	q    sched.Queue[flight]
+	next int64
 }
 
 type flight struct {
-	at  time.Time
 	dst *Host
 	cmd command
 }
 
-type flightHeap []flight
+// Wheel geometry: 2^17 ns (~131 µs) buckets, 512 of them — a ~67 ms window
+// covering the latency configs the campaigns run (100 µs – a few ms);
+// longer latencies route through the wheels' overflow level.
+const (
+	wireShift   = 17
+	wireBuckets = 512
+)
 
-func (h flightHeap) Len() int            { return len(h) }
-func (h flightHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
-func (h flightHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *flightHeap) Push(x interface{}) { *h = append(*h, x.(flight)) }
-func (h *flightHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	f := old[n-1]
-	old[n-1] = flight{}
-	*h = old[:n-1]
-	return f
+// wireShardCount picks a power-of-two shard count: enough stripes that
+// GOMAXPROCS concurrently sending hosts rarely collide, bounded so the
+// sweeper's per-pass scan stays trivial.
+func wireShardCount() int {
+	n := 8
+	for n < runtime.GOMAXPROCS(0) && n < 64 {
+		n <<= 1
+	}
+	return n
 }
 
-func newWire(n *Network) *wire {
-	return &wire{net: n, wake: make(chan struct{}, 1)}
+func newWire(n *Network) *wire { return newWireShards(n, wireShardCount()) }
+
+func newWireShards(n *Network, shardCount int) *wire {
+	w := &wire{
+		net:    n,
+		epoch:  time.Now(),
+		shards: make([]wireShard, shardCount),
+		mask:   uint32(shardCount - 1),
+		wake:   make(chan struct{}, 1),
+	}
+	for i := range w.shards {
+		w.shards[i].q = *sched.New[flight](wireShift, wireBuckets)
+		w.shards[i].next = math.MaxInt64
+	}
+	return w
 }
 
-func (w *wire) enqueue(at time.Time, dst *Host, cmd command) {
-	w.mu.Lock()
-	heap.Push(&w.heap, flight{at: at, dst: dst, cmd: cmd})
-	first := w.heap[0].at == at
-	w.mu.Unlock()
-	if first {
+// enqueue schedules delivery after delay on the sender's shard. Lock-free
+// with respect to every other sender outside the shard stripe: the only
+// mutex taken is the shard's own, and the sweeper is woken only when this
+// deadline is strictly earlier than the one it is sleeping toward.
+func (w *wire) enqueue(from peer.Addr, delay time.Duration, dst *Host, cmd command) {
+	at := int64(time.Since(w.epoch) + delay)
+	s := &w.shards[uint32(from)&w.mask]
+	s.mu.Lock()
+	s.q.Push(at, flight{dst: dst, cmd: cmd})
+	earlier := at < s.next
+	if earlier {
+		s.next = at
+	}
+	s.mu.Unlock()
+	if earlier {
 		select {
 		case w.wake <- struct{}{}:
 		default:
@@ -733,33 +787,50 @@ func (w *wire) enqueue(at time.Time, dst *Host, cmd command) {
 	}
 }
 
-// loop delivers in-flight messages when due. It exits on network stop;
-// Close then drains what remains.
+// loop is the sweeper: it harvests every shard's expired buckets into a
+// scratch buffer, delivers outside the locks, then sleeps until the
+// earliest pending deadline (or a wake from an earlier enqueue). It exits
+// on network stop; Close then drains what remains.
 func (w *wire) loop() {
 	defer w.net.wg.Done()
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
 	for {
-		w.mu.Lock()
-		now := time.Now()
-		for len(w.heap) > 0 && !w.heap[0].at.After(now) {
-			f := heap.Pop(&w.heap).(flight)
-			w.mu.Unlock()
-			w.net.deliver(f.dst, f.cmd)
-			w.mu.Lock()
+		now := int64(time.Since(w.epoch))
+		next := int64(math.MaxInt64)
+		w.scratch = w.scratch[:0]
+		for i := range w.shards {
+			s := &w.shards[i]
+			s.mu.Lock()
+			w.scratch = s.q.AppendDue(now, w.scratch)
+			if t, ok := s.q.PeekTime(); ok {
+				s.next = t
+				if t < next {
+					next = t
+				}
+			} else {
+				s.next = math.MaxInt64
+			}
+			s.mu.Unlock()
 		}
-		var next time.Duration = time.Hour
-		if len(w.heap) > 0 {
-			next = time.Until(w.heap[0].at)
+		for i := range w.scratch {
+			w.net.deliver(w.scratch[i].dst, w.scratch[i].cmd)
+			w.scratch[i] = flight{}
 		}
-		w.mu.Unlock()
+		sleep := time.Hour
+		if next != math.MaxInt64 {
+			sleep = time.Duration(next - int64(time.Since(w.epoch)))
+			if sleep < 0 {
+				sleep = 0
+			}
+		}
 		if !timer.Stop() {
 			select {
 			case <-timer.C:
 			default:
 			}
 		}
-		timer.Reset(next)
+		timer.Reset(sleep)
 		select {
 		case <-w.net.stop:
 			return
@@ -769,17 +840,23 @@ func (w *wire) loop() {
 	}
 }
 
-// drain counts every message still in flight as dropped. Only called
-// after the loop goroutine has exited.
+// drain counts every message still in flight as dropped. Only called after
+// the loop goroutine has exited, but it takes the shard locks anyway so a
+// straggling sender (a host goroutine finishing its last callback) cannot
+// race the teardown accounting.
 func (w *wire) drain() {
-	w.mu.Lock()
-	flights := w.heap
-	w.heap = nil
-	w.mu.Unlock()
-	w.net.dropped.Add(int64(len(flights)))
-	for _, f := range flights {
-		recycle(f.cmd.msg)
+	var stranded int64
+	for i := range w.shards {
+		s := &w.shards[i]
+		s.mu.Lock()
+		s.q.Drain(func(f flight) {
+			stranded++
+			recycle(f.cmd.msg)
+		})
+		s.next = math.MaxInt64
+		s.mu.Unlock()
 	}
+	w.net.dropped.Add(stranded)
 }
 
 // Close stops all hosts, waits for them to exit, and settles the traffic

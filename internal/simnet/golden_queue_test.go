@@ -1,0 +1,276 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/peer"
+)
+
+// legacyHeapQueue is the PR 1 pooled indexed min-heap, preserved verbatim as
+// a test fixture: the reference for the calendar queue's ordering contract
+// and the baseline for BenchmarkEventQueue. Do not "improve" it — its value
+// is being exactly the implementation every golden trace was captured on.
+type legacyHeapQueue struct {
+	pool []event  // event storage; slots on the free list are zeroed
+	heap []uint32 // binary min-heap of pool indices
+	free []uint32 // recycled pool slots
+}
+
+func (q *legacyHeapQueue) len() int { return len(q.heap) }
+
+func (q *legacyHeapQueue) less(a, b uint32) bool {
+	ea, eb := &q.pool[a], &q.pool[b]
+	if ea.time != eb.time {
+		return ea.time < eb.time
+	}
+	return ea.seq < eb.seq
+}
+
+func (q *legacyHeapQueue) push(e event) {
+	var idx uint32
+	if n := len(q.free); n > 0 {
+		idx = q.free[n-1]
+		q.free = q.free[:n-1]
+		q.pool[idx] = e
+	} else {
+		idx = uint32(len(q.pool))
+		q.pool = append(q.pool, e)
+	}
+	q.heap = append(q.heap, idx)
+	q.siftUp(len(q.heap) - 1)
+}
+
+func (q *legacyHeapQueue) pop() event {
+	idx := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
+	e := q.pool[idx]
+	q.pool[idx] = event{}
+	q.free = append(q.free, idx)
+	return e
+}
+
+func (q *legacyHeapQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.heap[i], q.heap[parent]) {
+			return
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *legacyHeapQueue) siftDown(i int) {
+	n := len(q.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && q.less(q.heap[right], q.heap[left]) {
+			least = right
+		}
+		if !q.less(q.heap[least], q.heap[i]) {
+			return
+		}
+		q.heap[i], q.heap[least] = q.heap[least], q.heap[i]
+		i = least
+	}
+}
+
+// driveSeedWorkload replays a seed-scenario-shaped event stream — n nodes'
+// staggered tick trains at the default period, each tick fanning out
+// latency-delayed messages with the default 1..10 latency window, plus
+// occasional At-style same-instant functions, with pops interleaved exactly
+// as Network.Run interleaves them — through push/pop callbacks. The stream
+// is a pure function of the seed, so two queue implementations fed the same
+// callbacks see byte-identical input.
+func driveSeedWorkload(n int, seed int64, cycles int64,
+	push func(event), pop func() (event, bool)) {
+	const delta = 10 // core.DefaultDelta; not imported to keep the fixture frozen
+	rng := rand.New(rand.NewSource(seed))
+	var seq uint64
+	emit := func(e event) {
+		e.seq = seq
+		seq++
+		push(e)
+	}
+	// Bootstrap: every node's first tick at its start offset, like Attach.
+	for i := 0; i < n; i++ {
+		emit(event{time: int64(i % delta), kind: evTick, to: peer.Addr(i)})
+	}
+	until := cycles * delta
+	for {
+		e, ok := pop()
+		if !ok || e.time > until {
+			return
+		}
+		switch e.kind {
+		case evTick:
+			// A tick sends 1-2 latency-delayed messages and reschedules
+			// itself — the simulator's dominant pattern.
+			fan := 1 + rng.Intn(2)
+			for f := 0; f < fan; f++ {
+				emit(event{
+					time: e.time + 1 + int64(rng.Intn(10)),
+					kind: evMessage,
+					to:   peer.Addr(rng.Intn(n)),
+					from: e.to,
+				})
+			}
+			emit(event{time: e.time + delta, kind: evTick, to: e.to})
+		case evMessage:
+			// Some deliveries answer immediately (request/answer pairs).
+			if rng.Intn(4) == 0 {
+				emit(event{
+					time: e.time + 1 + int64(rng.Intn(10)),
+					kind: evMessage,
+					to:   e.from,
+					from: e.to,
+				})
+			}
+		case evFunc:
+		}
+		// Occasional At(now) — runs at the current instant, after queued
+		// work, exactly like Network.At with a past deadline.
+		if rng.Intn(64) == 0 {
+			emit(event{time: e.time, kind: evFunc})
+		}
+	}
+}
+
+// TestGoldenQueueOrderMatchesLegacyHeap runs the seed-scenario workload at
+// n=1024 through the retired PR 1 heap and the calendar queue side by side
+// and asserts every pop is identical — time, seq, kind, and addressing. This
+// is the byte-identical-ordering half of the golden regression; the CSV half
+// (final run output sha256-pinned at n=256 and n=1024, unchanged from the
+// pre-calendar constants) is experiment.TestGoldenCSVByteIdentical, which
+// now runs on this queue.
+func TestGoldenQueueOrderMatchesLegacyHeap(t *testing.T) {
+	var legacy legacyHeapQueue
+	var calendar eventQueue
+	type rec struct {
+		e  event
+		ok bool
+	}
+	var legacyPops []rec
+	driveSeedWorkload(1024, 42, 40,
+		func(e event) { legacy.push(e) },
+		func() (event, bool) {
+			if legacy.len() == 0 {
+				return event{}, false
+			}
+			e := legacy.pop()
+			legacyPops = append(legacyPops, rec{e: e, ok: true})
+			return e, true
+		})
+	i := 0
+	driveSeedWorkload(1024, 42, 40,
+		func(e event) { calendar.push(e) },
+		func() (event, bool) {
+			if calendar.len() == 0 {
+				if i < len(legacyPops) {
+					t.Fatalf("calendar queue drained at pop %d; heap served %d pops", i, len(legacyPops))
+				}
+				return event{}, false
+			}
+			e := calendar.pop()
+			if i >= len(legacyPops) {
+				t.Fatalf("calendar queue served extra pop %d: %+v", i, e)
+			}
+			want := legacyPops[i].e
+			if e.time != want.time || e.seq != want.seq || e.kind != want.kind ||
+				e.to != want.to || e.from != want.from {
+				t.Fatalf("pop %d diverged:\n calendar (t=%d seq=%d kind=%d to=%d from=%d)\n legacy   (t=%d seq=%d kind=%d to=%d from=%d)",
+					i, e.time, e.seq, e.kind, e.to, e.from,
+					want.time, want.seq, want.kind, want.to, want.from)
+			}
+			i++
+			return e, true
+		})
+	if i != len(legacyPops) {
+		t.Fatalf("calendar queue served %d pops, heap served %d", i, len(legacyPops))
+	}
+	if len(legacyPops) < 100000 {
+		t.Fatalf("workload too small to be meaningful: %d pops", len(legacyPops))
+	}
+}
+
+// BenchmarkEventQueue pits the retired PR 1 pooled heap against the calendar
+// queue on the acceptance workload: 1<<16 queued events in steady state,
+// each op one pop plus one bounded-horizon push (message latency 1..10 or a
+// tick one period out). The calendar queue must be >= 2x faster with
+// allocs/op no worse; CI's bench job asserts the ratio on a multi-core
+// runner (this container is single-core, but the workload is serial anyway).
+func BenchmarkEventQueue(b *testing.B) {
+	const queued = 1 << 16
+	type impl struct {
+		name string
+		push func(event)
+		pop  func() event
+	}
+	for _, mk := range []struct {
+		name string
+		make func() impl
+	}{
+		{"heap", func() impl {
+			var q legacyHeapQueue
+			return impl{push: q.push, pop: q.pop, name: "heap"}
+		}},
+		{"calendar", func() impl {
+			var q eventQueue
+			return impl{push: q.push, pop: q.pop, name: "calendar"}
+		}},
+	} {
+		b.Run(fmt.Sprintf("impl=%s/queued=%d", mk.name, queued), func(b *testing.B) {
+			q := mk.make()
+			rng := rand.New(rand.NewSource(9))
+			var seq uint64
+			now := int64(0)
+			push := func(t int64, kind eventKind) {
+				q.push(event{time: t, seq: seq, kind: kind})
+				seq++
+			}
+			for i := 0; i < queued; i++ {
+				if i%3 == 0 {
+					push(now+int64(rng.Intn(10)), evTick)
+				} else {
+					push(now+1+int64(rng.Intn(10)), evMessage)
+				}
+			}
+			// Warm to steady state: the prefill fully sizes the heap's
+			// pool but only touches a few ring slots of the calendar
+			// queue, so run one full lap of the 256-bucket ring before
+			// timing — both structures then measure from their warmed
+			// high-water capacities.
+			for i := 0; i < 1<<21; i++ {
+				e := q.pop()
+				now = e.time
+				if e.kind == evTick {
+					push(now+10, evTick)
+				} else {
+					push(now+1+int64(rng.Intn(10)), evMessage)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := q.pop()
+				now = e.time
+				if e.kind == evTick {
+					push(now+10, evTick)
+				} else {
+					push(now+1+int64(rng.Intn(10)), evMessage)
+				}
+			}
+		})
+	}
+}

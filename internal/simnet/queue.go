@@ -1,90 +1,45 @@
 package simnet
 
-// eventQueue is a pooled indexed min-heap: events live as values in a pool
-// slice recycled through a free list, and the heap orders 4-byte indices
-// into that pool. Compared to the previous container/heap over []*event
-// this removes the per-event heap allocation — the dominant allocation in
-// Network.Send and tick rescheduling — and sifts small indices instead of
-// large event values. Ordering is identical: (time, seq) ascending, and seq
-// is a strictly increasing insertion sequence, so pop order (and therefore
-// every run) is byte-identical to the old implementation.
+import "repro/internal/sched"
+
+// eventQueue orders simulator events by (virtual time, insertion sequence).
+// It is a thin adapter over the shared calendar-queue subsystem
+// (internal/sched): a 256-bucket wheel of width 1 — one bucket per virtual
+// instant, sized to the engines' bounded horizon (tick period 10, latency
+// ≤ ~10) — with the overflow level absorbing anything scheduled further out
+// (long At offsets, churn schedules). Enqueue and dequeue are O(1)
+// amortised, against the O(log n) sifts of the pooled indexed min-heap this
+// replaced, and steady state allocates nothing: buckets recycle their
+// backing arrays in place.
+//
+// Ordering is the heap's exact contract — strict (time, seq) with seq the
+// insertion sequence — so pop order, and therefore every golden trace, is
+// byte-identical to both previous implementations (see
+// TestGoldenQueueOrderMatchesLegacyHeap).
+//
+// The wheel stamps its own insertion sequence; event.seq is not consulted
+// for ordering here. Network.push still stamps it because the legacy-heap
+// golden fixture orders by it — the two sequences advance in lockstep (one
+// stamp per push), which is exactly what the golden test asserts pop by pop.
 type eventQueue struct {
-	pool []event  // event storage; slots on the free list are zeroed
-	heap []uint32 // binary min-heap of pool indices
-	free []uint32 // recycled pool slots
+	q sched.Queue[event]
 }
 
-func (q *eventQueue) len() int { return len(q.heap) }
+func (q *eventQueue) len() int { return q.q.Len() }
 
 // peekTime returns the virtual time of the earliest event. It must not be
 // called on an empty queue.
-func (q *eventQueue) peekTime() int64 { return q.pool[q.heap[0]].time }
-
-func (q *eventQueue) less(a, b uint32) bool {
-	ea, eb := &q.pool[a], &q.pool[b]
-	if ea.time != eb.time {
-		return ea.time < eb.time
-	}
-	return ea.seq < eb.seq
+func (q *eventQueue) peekTime() int64 {
+	t, _ := q.q.PeekTime()
+	return t
 }
 
-// push inserts e, reusing a pooled slot when one is free.
-func (q *eventQueue) push(e event) {
-	var idx uint32
-	if n := len(q.free); n > 0 {
-		idx = q.free[n-1]
-		q.free = q.free[:n-1]
-		q.pool[idx] = e
-	} else {
-		idx = uint32(len(q.pool))
-		q.pool = append(q.pool, e)
-	}
-	q.heap = append(q.heap, idx)
-	q.siftUp(len(q.heap) - 1)
-}
+// push inserts e, ordered at e.time with ties broken by insertion order.
+func (q *eventQueue) push(e event) { q.q.Push(e.time, e) }
 
-// pop removes and returns the earliest event, releasing its pool slot. It
-// must not be called on an empty queue.
+// pop removes and returns the earliest event. It must not be called on an
+// empty queue.
 func (q *eventQueue) pop() event {
-	idx := q.heap[0]
-	last := len(q.heap) - 1
-	q.heap[0] = q.heap[last]
-	q.heap = q.heap[:last]
-	if last > 0 {
-		q.siftDown(0)
-	}
-	e := q.pool[idx]
-	q.pool[idx] = event{} // drop msg/fn references so they can be collected
-	q.free = append(q.free, idx)
+	e, _ := q.q.Pop()
 	return e
-}
-
-func (q *eventQueue) siftUp(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(q.heap[i], q.heap[parent]) {
-			return
-		}
-		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
-		i = parent
-	}
-}
-
-func (q *eventQueue) siftDown(i int) {
-	n := len(q.heap)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			return
-		}
-		least := left
-		if right := left + 1; right < n && q.less(q.heap[right], q.heap[left]) {
-			least = right
-		}
-		if !q.less(q.heap[least], q.heap[i]) {
-			return
-		}
-		q.heap[i], q.heap[least] = q.heap[least], q.heap[i]
-		i = least
-	}
 }
