@@ -12,6 +12,7 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/chord"
@@ -284,6 +285,54 @@ func BenchmarkSamplerChoice(b *testing.B) {
 			b.ReportMetric(cycles/float64(b.N), "cycles")
 		})
 	}
+}
+
+// BenchmarkNetworkFootprint measures the retained heap per node of a full
+// deployment at the paper's smallest headline size (2^14): network, event
+// queue, sampling oracle, and every node's protocol state (leaf set, prefix
+// table, certificates, per-node RNG) after the protocol has run long enough
+// to fill its structures. Routing-state bytes/node — not CPU — is what
+// bounds the reachable network size in RAM, so CI tracks this metric across
+// PRs and asserts it never regresses.
+func BenchmarkNetworkFootprint(b *testing.B) {
+	const n = 1 << 14
+	const cycles = 15
+	var before, after runtime.MemStats
+	var perNode float64
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+
+		descs, _ := benchWorld(n, 77)
+		oracle := sampling.NewOracle(descs, 5)
+		cfg := core.DefaultConfig()
+		// Arena-backed structures, matching what the experiment harness
+		// builds per trial.
+		cfg.Arena = peer.NewDescriptorArena()
+		net := simnet.New(simnet.Config{Seed: 78})
+		nodes := make([]*core.Node, n)
+		rng := rand.New(rand.NewSource(79))
+		for j := range descs {
+			addr := net.AddNode()
+			nd, err := core.NewNode(descs[j], cfg, oracle)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := net.Attach(addr, core.ProtoID, nd, cfg.Delta, rng.Int63n(cfg.Delta)); err != nil {
+				b.Fatal(err)
+			}
+			nodes[j] = nd
+		}
+		net.Run(cycles * cfg.Delta)
+
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		perNode += float64(after.HeapAlloc-before.HeapAlloc) / float64(n)
+		runtime.KeepAlive(nodes)
+		runtime.KeepAlive(net)
+		runtime.KeepAlive(oracle)
+	}
+	b.ReportMetric(perNode/float64(b.N), "bytes/node")
 }
 
 // --- Micro-benchmarks on the protocol's hot paths. ---

@@ -24,6 +24,7 @@ import (
 	"repro/internal/chord"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/memstats"
 )
 
 func main() {
@@ -46,7 +47,19 @@ type options struct {
 	workers        int
 	measureWorkers int
 	measureSample  int
+	memstats       bool
 	cfg            core.Config
+}
+
+// memstatsLine prints the memory accounting header for a completed run of
+// n nodes when -memstats is set. heapBytes is the live heap the harness
+// captured while the network still existed; peak RSS is a process-wide
+// high-water mark, so across several sizes later lines dominate earlier
+// ones.
+func (o *options) memstatsLine(out io.Writer, n int, heapBytes uint64) {
+	if o.memstats {
+		fmt.Fprintf(out, "# memstats n=%d %s\n", n, memstats.Line(n, heapBytes))
+	}
 }
 
 func parseArgs(args []string) (*options, error) {
@@ -65,6 +78,7 @@ func parseArgs(args []string) (*options, error) {
 		workers  = fs.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 		measureW = fs.Int("measure-workers", 0, "goroutines sharding the per-cycle ground-truth measurement (0 = GOMAXPROCS; output is identical for any value)")
 		measureS = fs.Int("measure-sample", 0, "per-cycle measurement sample size with 95% confidence intervals (0 = exact full-network measurement)")
+		memst    = fs.Bool("memstats", false, "print a # memstats header per size (live heap bytes per node, peak RSS)")
 		b        = fs.Int("b", core.DefaultB, "bits per digit")
 		k        = fs.Int("k", core.DefaultK, "entries per prefix-table slot")
 		c        = fs.Int("c", core.DefaultC, "leaf set size")
@@ -84,6 +98,7 @@ func parseArgs(args []string) (*options, error) {
 		workers:        *workers,
 		measureWorkers: *measureW,
 		measureSample:  *measureS,
+		memstats:       *memst,
 		cfg: core.Config{
 			B: *b, K: *k, C: *c, CR: *cr, Delta: core.DefaultDelta,
 		},
@@ -189,12 +204,14 @@ func runConvergence(o *options, out io.Writer, drop float64, label string) error
 				WarmupCycles:   o.warmup,
 				MeasureWorkers: o.measureWorkers,
 				MeasureSample:  o.measureSample,
+				MemStats:       o.memstats,
 			})
 			if err != nil {
 				return err
 			}
 			fmt.Fprintf(out, "# n=%d run=%d converged_at=%d sent=%d dropped=%d\n",
 				n, rep, res.ConvergedAt, res.Stats.Sent, res.Stats.Dropped)
+			o.memstatsLine(out, n, res.HeapBytes)
 			if err := res.WriteCSV(out); err != nil {
 				return err
 			}
@@ -247,6 +264,7 @@ func runChurn(o *options, out io.Writer) error {
 			Churn:                   experiment.Churn{Rate: 0.01, StartCycle: 0, StopCycle: 20},
 			MeasureWorkers:          o.measureWorkers,
 			MeasureSample:           o.measureSample,
+			MemStats:                o.memstats,
 			KeepRunningAfterPerfect: true,
 		})
 		if err != nil {
@@ -254,6 +272,7 @@ func runChurn(o *options, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "# n=%d final_leaf_missing=%e final_prefix_missing=%e\n",
 			n, res.Final().LeafMissing, res.Final().PrefixMissing)
+		o.memstatsLine(out, n, res.HeapBytes)
 		if err := res.WriteCSV(out); err != nil {
 			return err
 		}
@@ -276,12 +295,14 @@ func runMassJoin(o *options, out io.Writer) error {
 			WarmupCycles:   o.warmup,
 			MeasureWorkers: o.measureWorkers,
 			MeasureSample:  o.measureSample,
+			MemStats:       o.memstats,
 			Join:           experiment.Join{Cycle: 10, Count: n},
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "# n=%d joined=%d reconverged_at=%d\n", n, n, res.ConvergedAt)
+		o.memstatsLine(out, 2*n, res.HeapBytes)
 		if err := res.WriteCSV(out); err != nil {
 			return err
 		}

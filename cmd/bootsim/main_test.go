@@ -79,6 +79,20 @@ func TestRunFig3Small(t *testing.T) {
 	}
 }
 
+func TestRunFig3MemStats(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "fig3", "-n", "128", "-memstats"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# memstats n=128 heap_alloc_bytes=") {
+		t.Errorf("missing memstats header:\n%s", out)
+	}
+	if strings.Contains(out, "heap_alloc_bytes=0 ") {
+		t.Error("memstats header reports a zero heap: capture ran after teardown")
+	}
+}
+
 func TestRunFig4Small(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-experiment", "fig4", "-n", "128"}, &sb); err != nil {

@@ -28,6 +28,8 @@
 //	-cycles int     campaign length in periods (default 30)
 //	-seed int       base seed; trial i uses seed+i*7919 (default 42)
 //	-inbox int      per-host inbox bound; 0 = engine default (default 0)
+//	-memstats       print a # memstats header per trial: live heap bytes
+//	                per node and peak RSS (default false)
 //
 // Examples:
 //
@@ -52,6 +54,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/livenet"
+	"repro/internal/memstats"
 )
 
 func main() {
@@ -76,6 +79,7 @@ type options struct {
 	cycles         int
 	seed           int64
 	inbox          int
+	memstats       bool
 }
 
 func parseArgs(args []string) (*options, error) {
@@ -95,6 +99,7 @@ func parseArgs(args []string) (*options, error) {
 		cycles   = fs.Int("cycles", 30, "campaign length in periods")
 		seed     = fs.Int64("seed", 42, "base seed")
 		inbox    = fs.Int("inbox", 0, "per-host inbox bound (0 = engine default)")
+		memst    = fs.Bool("memstats", false, "print a # memstats header per trial (live heap bytes per node, peak RSS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -112,6 +117,7 @@ func parseArgs(args []string) (*options, error) {
 		cycles:         *cycles,
 		seed:           *seed,
 		inbox:          *inbox,
+		memstats:       *memst,
 	}
 	var err error
 	if o.sampler, err = experiment.ParseSampler(*sampler); err != nil {
@@ -157,6 +163,7 @@ func run(args []string, out io.Writer) error {
 		MeasureSample:  o.measureSample,
 		Sampler:        o.sampler,
 		WarmupCycles:   o.warmup,
+		MemStats:       o.memstats,
 		// Scenarios disturb the network mid-run; keep measuring the
 		// recovery tail instead of exiting on first perfection.
 		KeepRunningAfterPerfect: o.scenario.Schedule != nil,
@@ -183,6 +190,12 @@ func run(args []string, out io.Writer) error {
 			i, t.Seed, t.ConvergedAt, t.Killed, t.Respawned,
 			f.LeafMissing, f.PrefixMissing,
 			t.Stats.Sent, t.Stats.Delivered, t.Stats.Dropped, t.Stats.Overflow)
+		if o.memstats {
+			// With concurrent trials the heap snapshot covers whatever
+			// trials were live at capture; run -workers 1 (or one trial)
+			// for a clean per-node attribution.
+			fmt.Fprintf(out, "# memstats trial=%d n=%d %s\n", i, o.n, memstats.Line(o.n, t.HeapBytes))
+		}
 	}
 	total := res.TotalStats()
 	fmt.Fprintf(out, "# converged_trials=%d/%d total_sent=%d total_delivered=%d total_dropped=%d total_overflow=%d\n",

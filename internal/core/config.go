@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/id"
+	"repro/internal/peer"
 )
 
 // Default protocol parameters, matching the paper's simulations (Section 5).
@@ -71,6 +72,14 @@ type Config struct {
 	// message loss small values cause false positives; the evicted
 	// peer is simply relearned through gossip.
 	EvictAfterMisses int
+	// Arena, when non-nil, supplies the descriptor blocks backing the
+	// node's leaf set and prefix-table slots. The engine or harness that
+	// builds the network owns the arena (one per network); core only
+	// borrows blocks and returns them through Node.Release when the node
+	// is permanently retired. Nil falls back to plain heap allocation —
+	// correct, just without the pooling that keeps a churned network's
+	// heap compact.
+	Arena *peer.DescriptorArena
 }
 
 // DefaultConfig returns the parameter set used throughout the paper's

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/id"
 	"repro/internal/peer"
@@ -12,23 +13,53 @@ import (
 // the paper's UpdateLeafSet. When one direction cannot supply c/2 nodes,
 // the set is topped up with the closest nodes from the other direction, so
 // the set holds min(c, |known peers|) entries.
+//
+// Storage: both directions live in one capacity-c block — drawn from the
+// network's DescriptorArena when one is configured — with succ and pred as
+// views into it, so a leaf set costs a single allocation that churn can
+// recycle whole (see peer.DescriptorArena for the ownership rules).
 type LeafSet struct {
-	self id.ID
-	c    int
-	succ []peer.Descriptor // ascending clockwise distance from self
-	pred []peer.Descriptor // ascending counter-clockwise distance from self
+	self  id.ID
+	c     int
+	arena *peer.DescriptorArena
+	block []peer.Descriptor // cap-c backing; succ and pred alias into it
+	succ  []peer.Descriptor // ascending clockwise distance from self
+	pred  []peer.Descriptor // ascending counter-clockwise distance from self
 }
 
-// NewLeafSet returns an empty leaf set of capacity c for the given node.
+// NewLeafSet returns an empty heap-backed leaf set of capacity c for the
+// given node.
 func NewLeafSet(self id.ID, c int) *LeafSet {
-	return &LeafSet{self: self, c: c}
+	return NewLeafSetIn(nil, self, c)
 }
+
+// NewLeafSetIn returns an empty leaf set whose storage is drawn from the
+// given arena (nil for plain heap allocation).
+func NewLeafSetIn(arena *peer.DescriptorArena, self id.ID, c int) *LeafSet {
+	return &LeafSet{self: self, c: c, arena: arena}
+}
+
+// leafScratch holds the merge pool and rebuild buffers reused across
+// Update calls. The pool is shared by every leaf set in the process (all
+// updates run serialised per node; concurrent nodes draw distinct objects
+// from the pool), which turns what used to be per-call — and would
+// otherwise be per-node retained — scratch into a handful of objects.
+type leafScratch struct {
+	pool       peer.Set
+	old        []peer.Descriptor
+	succ, pred []peer.Descriptor
+}
+
+var leafScratchPool = sync.Pool{New: func() any { return new(leafScratch) }}
 
 // Update merges the given descriptors into the leaf set and re-applies the
 // selection rule. The node's own descriptor and duplicates are ignored.
 // It reports whether the kept set changed.
 func (l *LeafSet) Update(ds []peer.Descriptor) bool {
-	pool := peer.NewSet(len(l.succ) + len(l.pred) + len(ds))
+	sc := leafScratchPool.Get().(*leafScratch)
+	defer leafScratchPool.Put(sc)
+	pool := &sc.pool
+	pool.Reset()
 	for _, d := range l.succ {
 		pool.Add(d)
 	}
@@ -47,34 +78,42 @@ func (l *LeafSet) Update(ds []peer.Descriptor) bool {
 	if !added {
 		return false
 	}
-	before := make(map[id.ID]struct{}, l.Len())
-	for _, d := range l.succ {
-		before[d.ID] = struct{}{}
-	}
-	for _, d := range l.pred {
-		before[d.ID] = struct{}{}
-	}
-	l.rebuild(pool.Slice())
-	if l.Len() != len(before) {
+	// Snapshot the previous contents (distinct IDs by construction) for
+	// the change check; rebuild overwrites the backing block in place.
+	sc.old = append(sc.old[:0], l.succ...)
+	sc.old = append(sc.old, l.pred...)
+	l.rebuild(pool.Slice(), sc)
+	if l.Len() != len(sc.old) {
 		return true
 	}
 	for _, d := range l.succ {
-		if _, ok := before[d.ID]; !ok {
+		if !containsID(sc.old, d.ID) {
 			return true
 		}
 	}
 	for _, d := range l.pred {
-		if _, ok := before[d.ID]; !ok {
+		if !containsID(sc.old, d.ID) {
 			return true
 		}
 	}
 	return false
 }
 
-// rebuild applies the paper's selection rule to an arbitrary candidate pool.
-func (l *LeafSet) rebuild(pool []peer.Descriptor) {
-	succ := make([]peer.Descriptor, 0, len(pool))
-	pred := make([]peer.Descriptor, 0, len(pool))
+func containsID(ds []peer.Descriptor, nodeID id.ID) bool {
+	for _, d := range ds {
+		if d.ID == nodeID {
+			return true
+		}
+	}
+	return false
+}
+
+// rebuild applies the paper's selection rule to an arbitrary candidate
+// pool (entries with distinct IDs) and writes the outcome into the backing
+// block. The pool holds copies, so overwriting the block mid-rebuild
+// cannot corrupt the candidates.
+func (l *LeafSet) rebuild(pool []peer.Descriptor, sc *leafScratch) {
+	succ, pred := sc.succ[:0], sc.pred[:0]
 	for _, d := range pool {
 		if d.ID == l.self {
 			continue
@@ -85,11 +124,28 @@ func (l *LeafSet) rebuild(pool []peer.Descriptor) {
 			pred = append(pred, d)
 		}
 	}
-	sort.Slice(succ, func(i, j int) bool {
-		return id.Succ(l.self, succ[i].ID) < id.Succ(l.self, succ[j].ID)
+	// Directed ring distances from a fixed origin are injective over
+	// distinct IDs, so neither comparator can tie: the sort order is a
+	// total order, independent of the algorithm.
+	slices.SortFunc(succ, func(a, b peer.Descriptor) int {
+		da, db := id.Succ(l.self, a.ID), id.Succ(l.self, b.ID)
+		switch {
+		case da < db:
+			return -1
+		case da > db:
+			return 1
+		}
+		return 0
 	})
-	sort.Slice(pred, func(i, j int) bool {
-		return id.Pred(l.self, pred[i].ID) < id.Pred(l.self, pred[j].ID)
+	slices.SortFunc(pred, func(a, b peer.Descriptor) int {
+		da, db := id.Pred(l.self, a.ID), id.Pred(l.self, b.ID)
+		switch {
+		case da < db:
+			return -1
+		case da > db:
+			return 1
+		}
+		return 0
 	})
 
 	half := l.c / 2
@@ -102,8 +158,26 @@ func (l *LeafSet) rebuild(pool []peer.Descriptor) {
 	if spare := l.c - nSucc - nPred; spare > 0 {
 		nPred = min(len(pred), nPred+spare)
 	}
-	l.succ = append(l.succ[:0], succ[:nSucc]...)
-	l.pred = append(l.pred[:0], pred[:nPred]...)
+	// nSucc+nPred ≤ c by the spare arithmetic, so both directions fit the
+	// single capacity-c block.
+	if l.block == nil {
+		l.block = l.arena.Get(l.c)
+	}
+	blk := append(l.block[:0], succ[:nSucc]...)
+	blk = append(blk, pred[:nPred]...)
+	l.succ = blk[0:nSucc:nSucc]
+	l.pred = blk[nSucc : nSucc+nPred : nSucc+nPred]
+	sc.succ, sc.pred = succ, pred
+}
+
+// Release returns the backing block to the arena. The leaf set must not be
+// used again by its current owner: the block may be handed to another
+// node. Safe to call on a never-filled or already-released set.
+func (l *LeafSet) Release() {
+	if l.block != nil {
+		l.arena.Put(l.block)
+	}
+	l.block, l.succ, l.pred = nil, nil, nil
 }
 
 // Len returns the number of descriptors currently held.
@@ -131,17 +205,7 @@ func (l *LeafSet) Slice() []peer.Descriptor {
 
 // Contains reports whether a descriptor with the given ID is in the set.
 func (l *LeafSet) Contains(nodeID id.ID) bool {
-	for _, d := range l.succ {
-		if d.ID == nodeID {
-			return true
-		}
-	}
-	for _, d := range l.pred {
-		if d.ID == nodeID {
-			return true
-		}
-	}
-	return false
+	return containsID(l.succ, nodeID) || containsID(l.pred, nodeID)
 }
 
 // SortedByRingDistance returns the leaf set ordered by (undirected) ring
@@ -166,10 +230,23 @@ func (l *LeafSet) SortedByRingDistance() []peer.Descriptor {
 	return out
 }
 
-// Remove drops a descriptor (e.g. one detected as dead) from the set.
+// Remove drops a descriptor (e.g. one detected as dead) from the set,
+// compacting the affected direction in place.
 func (l *LeafSet) Remove(nodeID id.ID) {
-	l.succ = peer.Without(l.succ, nodeID)
-	l.pred = peer.Without(l.pred, nodeID)
+	l.succ = removeInPlace(l.succ, nodeID)
+	l.pred = removeInPlace(l.pred, nodeID)
+}
+
+// removeInPlace deletes the entry with the given ID preserving order.
+// Each direction holds distinct IDs, so one hit suffices.
+func removeInPlace(ds []peer.Descriptor, nodeID id.ID) []peer.Descriptor {
+	for i := range ds {
+		if ds[i].ID == nodeID {
+			copy(ds[i:], ds[i+1:])
+			return ds[:len(ds)-1]
+		}
+	}
+	return ds
 }
 
 func min(a, b int) int {

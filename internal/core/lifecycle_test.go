@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/peer"
+	"repro/internal/sampling"
+)
+
+// populatedNode builds an arena-backed node and fills both structures so it
+// holds a leaf block plus at least one prefix slot block.
+func populatedNode(t *testing.T, arena *peer.DescriptorArena, selfIdx int, world []peer.Descriptor) *Node {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Arena = arena
+	n, err := NewNode(world[selfIdx], cfg, sampling.Fixed(world))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Leaf().Update(world)
+	n.Table().AddAll(world)
+	return n
+}
+
+func testWorld(size int) []peer.Descriptor {
+	world := make([]peer.Descriptor, size)
+	for i := range world {
+		world[i] = peer.Descriptor{ID: testID(i), Addr: peer.Addr(i)}
+	}
+	return world
+}
+
+// TestNodeReleaseReturnsAllBlocks checks the exactly-once contract at node
+// granularity: Release returns every block the node's structures drew, and
+// a second Release returns nothing (no double-free, Outstanding stays 0).
+func TestNodeReleaseReturnsAllBlocks(t *testing.T) {
+	arena := peer.NewDescriptorArena()
+	world := testWorld(64)
+	n := populatedNode(t, arena, 0, world)
+	if got := arena.Outstanding(); got < 2 {
+		t.Fatalf("populated node holds %d blocks, want at least leaf + one slot", got)
+	}
+	n.Release()
+	if got := arena.Outstanding(); got != 0 {
+		t.Fatalf("Outstanding after Release = %d, want 0", got)
+	}
+	n.Release() // idempotent: must not return blocks twice
+	if got := arena.Outstanding(); got != 0 {
+		t.Fatalf("Outstanding after double Release = %d, want 0", got)
+	}
+}
+
+// TestReleasedBlockHandoffZeroed checks the cross-incarnation aliasing
+// contract: the block a released leaf set hands back is reissued to the
+// next owner of the same capacity with every slot zeroed, so no stale
+// descriptor of the dead node can surface in its replacement.
+func TestReleasedBlockHandoffZeroed(t *testing.T) {
+	arena := peer.NewDescriptorArena()
+	world := testWorld(32)
+	const c = 20
+	ls := NewLeafSetIn(arena, world[0].ID, c)
+	ls.Update(world[1:])
+	if ls.Len() == 0 {
+		t.Fatal("leaf set empty after update")
+	}
+	blk := ls.block
+	first := &blk[:1][0]
+	ls.Release()
+	if ls.block != nil || ls.Len() != 0 {
+		t.Fatal("Release left views behind")
+	}
+
+	got := arena.Get(c)
+	if &got[:1][0] != first {
+		t.Fatal("released leaf block was not reissued for capacity", c)
+	}
+	for i, d := range got[:cap(got)] {
+		if d != (peer.Descriptor{}) {
+			t.Fatalf("reissued block slot %d holds stale descriptor %+v", i, d)
+		}
+	}
+}
+
+// TestChurnReleaseExactlyOnce mimics the simnet churn loop single-threaded:
+// waves of nodes are spawned from one arena, populated, and the victims
+// released; the arena's outstanding count must always equal the number of
+// blocks held by live nodes, and draining the population must return it to
+// zero.
+func TestChurnReleaseExactlyOnce(t *testing.T) {
+	arena := peer.NewDescriptorArena()
+	world := testWorld(128)
+	live := make([]*Node, 0, 16)
+	for i := 0; i < 16; i++ {
+		live = append(live, populatedNode(t, arena, i, world))
+	}
+	for wave := 0; wave < 10; wave++ {
+		// Kill the first half, spawn replacements.
+		for _, n := range live[:8] {
+			n.Release()
+		}
+		live = append(live[:0], live[8:]...)
+		for i := 0; i < 8; i++ {
+			live = append(live, populatedNode(t, arena, (wave*8+i)%len(world), world))
+		}
+	}
+	for _, n := range live {
+		n.Release()
+	}
+	if got := arena.Outstanding(); got != 0 {
+		t.Fatalf("Outstanding after draining all nodes = %d, want 0", got)
+	}
+}
+
+// TestConcurrentChurnHammer is the livenet-shaped stress: many goroutines
+// spawn, populate, and retire arena-backed nodes concurrently. Run under
+// -race; the final outstanding count must be zero (each block returned
+// exactly once).
+func TestConcurrentChurnHammer(t *testing.T) {
+	arena := peer.NewDescriptorArena()
+	world := testWorld(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				n := populatedNode(t, arena, (g*100+i)%len(world), world)
+				n.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := arena.Outstanding(); got != 0 {
+		t.Errorf("Outstanding after concurrent hammer = %d, want 0", got)
+	}
+}

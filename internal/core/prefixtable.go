@@ -11,19 +11,32 @@ import (
 // up to k descriptors of nodes whose IDs realise that pair. Rows are
 // allocated lazily, because at any practical network size only the first
 // O(log N) rows can ever be populated.
+//
+// Slot storage (the cap-k descriptor arrays) is drawn from the network's
+// DescriptorArena when one is configured, also lazily, and returned whole
+// through Release when the owning node is permanently retired.
 type PrefixTable struct {
-	self id.ID
-	b, k int
-	rows [][][]peer.Descriptor // rows[i][j] is the (i, j) slot, cap k
+	self  id.ID
+	b, k  int
+	arena *peer.DescriptorArena
+	rows  [][][]peer.Descriptor // rows[i][j] is the (i, j) slot, cap k
 }
 
-// NewPrefixTable returns an empty prefix table for the given node.
+// NewPrefixTable returns an empty heap-backed prefix table for the given
+// node.
 func NewPrefixTable(self id.ID, b, k int) *PrefixTable {
+	return NewPrefixTableIn(nil, self, b, k)
+}
+
+// NewPrefixTableIn returns an empty prefix table whose slot storage is
+// drawn from the given arena (nil for plain heap allocation).
+func NewPrefixTableIn(arena *peer.DescriptorArena, self id.ID, b, k int) *PrefixTable {
 	return &PrefixTable{
-		self: self,
-		b:    b,
-		k:    k,
-		rows: make([][][]peer.Descriptor, id.NumDigits(b)),
+		self:  self,
+		b:     b,
+		k:     k,
+		arena: arena,
+		rows:  make([][][]peer.Descriptor, id.NumDigits(b)),
 	}
 }
 
@@ -57,6 +70,11 @@ func (t *PrefixTable) Add(d peer.Descriptor) bool {
 		if cur.ID == d.ID {
 			return false
 		}
+	}
+	if slot == nil {
+		// First entry for this slot: draw its full cap-k block, so the
+		// append below (and every later one, len < k) never reallocates.
+		slot = t.arena.Get(t.k)
 	}
 	t.rows[row][col] = append(slot, d)
 	return true
@@ -141,13 +159,36 @@ func (t *PrefixTable) SlotCounts() [][]int {
 }
 
 // Remove drops the entry with the given ID, if present (e.g. a peer
-// detected as dead).
+// detected as dead), compacting the slot in place so the slot keeps its
+// arena block.
 func (t *PrefixTable) Remove(nodeID id.ID) {
 	row, col, ok := t.Slot(nodeID)
 	if !ok || t.rows[row] == nil {
 		return
 	}
-	t.rows[row][col] = peer.Without(t.rows[row][col], nodeID)
+	slot := t.rows[row][col]
+	for i := range slot {
+		if slot[i].ID == nodeID {
+			copy(slot[i:], slot[i+1:])
+			t.rows[row][col] = slot[:len(slot)-1]
+			return
+		}
+	}
+}
+
+// Release returns every slot block to the arena and drops the rows. The
+// table must not be used again by its current owner: the blocks may be
+// handed to another node. Safe to call repeatedly.
+func (t *PrefixTable) Release() {
+	for i, row := range t.rows {
+		for j, slot := range row {
+			if slot != nil {
+				t.arena.Put(slot)
+				row[j] = nil
+			}
+		}
+		t.rows[i] = nil
+	}
 }
 
 // Owner returns the ID of the node this table belongs to.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"repro/internal/flat"
 	"repro/internal/id"
 	"repro/internal/peer"
 	"repro/internal/proto"
@@ -84,27 +85,41 @@ type Node struct {
 	// Failure-detector state (used only when cfg.EvictAfterMisses > 0):
 	// the peer whose answer is outstanding, whether it answered,
 	// consecutive unanswered requests per peer, local tombstones for
-	// evicted peers (expiry tick), and the tick counter.
+	// evicted peers (expiry tick), and the tick counter. The per-peer
+	// tables are open-addressed (internal/flat) rather than built-in
+	// maps: half the memory at 2^18+ nodes, and their iteration order —
+	// which reaches the wire via death certificates — is deterministic.
 	pending  peer.Descriptor
 	answered bool
-	misses   map[id.ID]int
-	tombs    map[id.ID]int64
+	misses   flat.Table[int]
+	tombs    flat.Table[int64]
 	ticks    int64
 
 	// appendSampler is the sampler's allocation-free fast path, resolved
 	// once at construction (nil when the sampler doesn't offer one).
 	appendSampler sampling.AppendSampler
 
-	// scratchUnion, scratchSel, scratchSample and scratchTable are reused
-	// across createMessage calls so steady-state message construction
-	// allocates nothing: the shipped entries live in a pooled message's
-	// arena. Safe because each node's callbacks run serialised (simnet is
-	// single-threaded; livenet drives each host from one dispatch loop).
-	scratchUnion  *peer.Set
-	scratchSel    []peer.Descriptor
-	scratchSample []peer.Descriptor
-	scratchTable  []peer.Descriptor
+	// released records that the node's arena-backed storage has been
+	// returned; it makes Release idempotent.
+	released bool
 }
+
+// msgScratch holds the union set and sample buffer reused across
+// createMessage calls so steady-state message construction allocates
+// nothing: the shipped entries live in a pooled message's arena. The
+// scratch is pooled process-wide rather than retained per node — each
+// node's callbacks run serialised (simnet is single-threaded; livenet
+// drives each host from one dispatch loop), so a message construction
+// holds an object exclusively for its duration and a handful of objects
+// serve any number of nodes.
+type msgScratch struct {
+	union   peer.Set
+	sample  []peer.Descriptor
+	table   []peer.Descriptor
+	expired []id.ID
+}
+
+var msgScratchPool = sync.Pool{New: func() any { return new(msgScratch) }}
 
 // tombstoneTTL is how many ticks an evicted peer stays blacklisted. A
 // falsely evicted live peer (consecutive message losses) is relearned
@@ -117,21 +132,27 @@ const tombstoneTTL = 20
 const sweepEvery = 4
 
 // appendCertificates appends the unexpired tombstoned IDs to dst, capped
-// for transport.
-func (n *Node) appendCertificates(dst []id.ID) []id.ID {
-	if len(n.tombs) == 0 {
+// for transport, in the tomb table's (deterministic) iteration order.
+// Expired tombstones found on the way are collected into scratch and
+// deleted after the scan: deletion backshifts table entries, so deleting
+// mid-iteration would derail the cursor.
+func (n *Node) appendCertificates(dst []id.ID, sc *msgScratch) []id.ID {
+	if n.tombs.Len() == 0 {
 		return dst
 	}
 	added := 0
-	for dead, expiry := range n.tombs {
+	sc.expired = sc.expired[:0]
+	n.tombs.Iter(func(dead id.ID, expiry int64) bool {
 		if n.ticks >= expiry {
-			delete(n.tombs, dead)
-			continue
+			sc.expired = append(sc.expired, dead)
+			return true
 		}
 		dst = append(dst, dead)
-		if added++; added == maxCertificates {
-			break
-		}
+		added++
+		return added < maxCertificates
+	})
+	for _, dead := range sc.expired {
+		n.tombs.Delete(dead)
 	}
 	return dst
 }
@@ -143,10 +164,10 @@ func (n *Node) adoptCertificates(sender peer.Descriptor, dead []id.ID) {
 		if d == n.self.ID || d == sender.ID {
 			continue
 		}
-		if _, known := n.tombs[d]; known {
+		if n.tombs.Contains(d) {
 			continue
 		}
-		n.tombs[d] = n.ticks + tombstoneTTL
+		n.tombs.Put(d, n.ticks+tombstoneTTL)
 		n.leaf.Remove(d)
 		n.table.Remove(d)
 	}
@@ -167,16 +188,27 @@ func NewNode(self peer.Descriptor, cfg Config, sampler sampling.Service) (*Node,
 		cfg:     cfg,
 		self:    self,
 		sampler: sampler,
-		leaf:    NewLeafSet(self.ID, cfg.C),
-		table:   NewPrefixTable(self.ID, cfg.B, cfg.K),
+		leaf:    NewLeafSetIn(cfg.Arena, self.ID, cfg.C),
+		table:   NewPrefixTableIn(cfg.Arena, self.ID, cfg.B, cfg.K),
 		pending: peer.None,
 	}
 	n.appendSampler, _ = sampler.(sampling.AppendSampler)
-	if cfg.EvictAfterMisses > 0 {
-		n.misses = make(map[id.ID]int)
-		n.tombs = make(map[id.ID]int64)
-	}
 	return n, nil
+}
+
+// Release returns the node's arena-backed storage (leaf set block, prefix
+// table slots) to the network's arena. The engine or harness calls it when
+// the node is permanently retired — simnet churn replaces nodes, so the
+// victim releases; livenet kill/respawn revives the same node with its
+// state intact, so it must NOT release. Idempotent; the node must not be
+// driven again afterwards.
+func (n *Node) Release() {
+	if n.released {
+		return
+	}
+	n.released = true
+	n.leaf.Release()
+	n.table.Release()
 }
 
 // Init implements the paper's start procedure: the leaf set is initialised
@@ -226,15 +258,18 @@ func (n *Node) noteMissedAnswer() {
 	if n.cfg.EvictAfterMisses == 0 || n.pending.Nil() || n.answered {
 		return
 	}
-	n.misses[n.pending.ID]++
-	if n.misses[n.pending.ID] >= n.cfg.EvictAfterMisses {
+	m, _ := n.misses.Get(n.pending.ID)
+	m++
+	if m >= n.cfg.EvictAfterMisses {
 		n.leaf.Remove(n.pending.ID)
 		n.table.Remove(n.pending.ID)
-		delete(n.misses, n.pending.ID)
+		n.misses.Delete(n.pending.ID)
 		// Blacklist so gossip cannot immediately reintroduce the
 		// entry; the tombstone expires in case this was a false
 		// positive caused by message loss.
-		n.tombs[n.pending.ID] = n.ticks + tombstoneTTL
+		n.tombs.Put(n.pending.ID, n.ticks+tombstoneTTL)
+	} else {
+		n.misses.Put(n.pending.ID, m)
 	}
 	n.pending = peer.None
 }
@@ -246,14 +281,14 @@ func (n *Node) noteMissedAnswer() {
 // receivers shares the Entries backing array between them, and an in-place
 // rewrite here would corrupt the siblings' view mid-filter.
 func (n *Node) filterTombstoned(ds []peer.Descriptor) []peer.Descriptor {
-	if len(n.tombs) == 0 {
+	if n.tombs.Len() == 0 {
 		return ds
 	}
 	out, forked := ds, false
 	for i, d := range ds {
-		expiry, dead := n.tombs[d.ID]
+		expiry, dead := n.tombs.Get(d.ID)
 		if dead && n.ticks >= expiry {
-			delete(n.tombs, d.ID)
+			n.tombs.Delete(d.ID)
 			dead = false
 		}
 		switch {
@@ -282,8 +317,8 @@ func (n *Node) Handle(ctx proto.Context, from peer.Addr, msg proto.Message) {
 	entries := m.Entries
 	if n.cfg.EvictAfterMisses > 0 {
 		// Any message from a peer proves it alive.
-		delete(n.misses, m.Sender.ID)
-		delete(n.tombs, m.Sender.ID)
+		n.misses.Delete(m.Sender.ID)
+		n.tombs.Delete(m.Sender.ID)
 		if m.Sender.ID == n.pending.ID {
 			n.answered = true
 		}
@@ -355,26 +390,23 @@ func (n *Node) selectPeer(rng *rand.Rand) peer.Descriptor {
 // matches the paper's stated bound (the size of the full prefix table,
 // "usually smaller in practice" — the union is far smaller than 768).
 func (n *Node) createMessage(q peer.Descriptor, request bool) *Message {
-	if n.scratchUnion == nil {
-		n.scratchUnion = peer.NewSet(n.cfg.C + n.cfg.CR + n.table.Len() + 1)
-	} else {
-		n.scratchUnion.Reset()
-	}
-	union := n.scratchUnion
+	sc := msgScratchPool.Get().(*msgScratch)
+	union := &sc.union
+	union.Reset()
 	union.Add(n.self)
 	union.AddAll(n.leaf.Successors())
 	union.AddAll(n.leaf.Predecessors())
 	if n.cfg.CR > 0 {
 		if n.appendSampler != nil {
-			n.scratchSample = n.appendSampler.AppendSample(n.scratchSample[:0], n.cfg.CR)
-			union.AddAll(n.scratchSample)
+			sc.sample = n.appendSampler.AppendSample(sc.sample[:0], n.cfg.CR)
+			union.AddAll(sc.sample)
 		} else {
 			union.AddAll(n.sampler.Sample(n.cfg.CR))
 		}
 	}
 	if !n.cfg.DisablePrefixFeedback {
-		n.scratchTable = n.table.AppendEntries(n.scratchTable[:0])
-		union.AddAll(n.scratchTable)
+		sc.table = n.table.AppendEntries(sc.table[:0])
+		union.AddAll(sc.table)
 	}
 	union.Remove(q.ID) // never ship the destination its own descriptor
 
@@ -383,11 +415,15 @@ func (n *Node) createMessage(q peer.Descriptor, request bool) *Message {
 	if !n.cfg.DisablePrefixFeedback {
 		nExtra = min(union.Len()-nBase, n.cfg.TableCapacity())
 	}
-	// Partial selection: only the nBase+nExtra entries actually shipped are
-	// selected and sorted, O(u log(c+extra)) instead of fully sorting the
-	// whole union per message.
-	n.scratchSel = append(n.scratchSel[:0], union.Slice()...)
-	closest := peer.SelectNClosest(n.scratchSel, q.ID, nBase+nExtra)
+	// Partial selection, run directly on the union's backing list: only
+	// the nBase+nExtra entries actually shipped are selected and sorted,
+	// O(u log(c+extra)) instead of fully sorting the whole union per
+	// message. Selection permutes the list in place (the set's index is
+	// stale afterwards, which Reset clears on next use), but its result
+	// is order-insensitive: ring distance with ID tie-break is a total
+	// order and the union holds distinct IDs, so the selected prefix is a
+	// pure function of the union's contents.
+	closest := peer.SelectNClosest(union.Slice(), q.ID, nBase+nExtra)
 
 	// The shipped entries are copied out of scratch into a pooled
 	// message's arena: messages are owned by their receiver (see Message),
@@ -399,8 +435,9 @@ func (n *Node) createMessage(q peer.Descriptor, request bool) *Message {
 	m.Entries = append(m.Entries[:0], closest...)
 	m.Dead = m.Dead[:0]
 	if n.cfg.EvictAfterMisses > 0 {
-		m.Dead = n.appendCertificates(m.Dead)
+		m.Dead = n.appendCertificates(m.Dead, sc)
 	}
+	msgScratchPool.Put(sc)
 	return m
 }
 

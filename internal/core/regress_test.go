@@ -50,7 +50,7 @@ func TestFilterTombstonedPreservesSharedSlice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n.tombs[2] = n.ticks + tombstoneTTL // ID 2 currently blacklisted
+	n.tombs.Put(2, n.ticks+tombstoneTTL) // ID 2 currently blacklisted
 	shared := []peer.Descriptor{{ID: 1, Addr: 1}, {ID: 2, Addr: 2}, {ID: 3, Addr: 3}}
 	snapshot := make([]peer.Descriptor, len(shared))
 	copy(snapshot, shared)
@@ -71,11 +71,12 @@ func TestFilterTombstonedPreservesSharedSlice(t *testing.T) {
 	}
 
 	// An expired tombstone is dropped lazily and its entry passes through.
-	n.ticks = n.tombs[2] + 1
+	expiry, _ := n.tombs.Get(2)
+	n.ticks = expiry + 1
 	if out := n.filterTombstoned(shared); !reflect.DeepEqual(out, snapshot) {
 		t.Errorf("expired tombstone still filtered: %v", out)
 	}
-	if _, still := n.tombs[2]; still {
+	if n.tombs.Contains(2) {
 		t.Error("expired tombstone not collected")
 	}
 }

@@ -15,7 +15,9 @@ import (
 	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/flat"
 	"repro/internal/id"
+	"repro/internal/memstats"
 	"repro/internal/newscast"
 	"repro/internal/peer"
 	"repro/internal/sampling"
@@ -125,6 +127,11 @@ type Params struct {
 	// KeepRunningAfterPerfect continues until MaxCycles even after
 	// perfection, for steady-state studies.
 	KeepRunningAfterPerfect bool
+	// MemStats records the live heap (after a forced GC) into
+	// Result.HeapBytes at the end of the run, while the network is still
+	// reachable — the CLI's -memstats accounting. It runs once, after the
+	// last cycle, so the protocol trace is untouched.
+	MemStats bool
 }
 
 // Join describes a massive simultaneous join event.
@@ -208,6 +215,9 @@ type Result struct {
 	ConvergedAt int
 	// Stats is the final network traffic snapshot.
 	Stats simnet.Stats
+	// HeapBytes is the post-GC live heap captured at the end of the run
+	// with the network still live; 0 unless Params.MemStats was set.
+	HeapBytes uint64
 }
 
 // member is one node of the experiment network.
@@ -240,7 +250,10 @@ type runner struct {
 	oracle     *sampling.Oracle
 	samplerSeq int64 // newscast sampler seed counter (spawn order)
 	members    []*member
-	byID       map[id.ID]*member
+	byID       flat.Table[*member]
+	// arena backs every node's leaf-set and prefix-table blocks for the
+	// lifetime of the trial; churn victims return their blocks on kill.
+	arena *peer.DescriptorArena
 	// tr is the trial's ground-truth oracle. It is built once and then
 	// mutated incrementally by churn/join deltas — never rebuilt per
 	// cycle (the measurement plane's dominant cost at paper scale).
@@ -260,7 +273,12 @@ func (r *runner) run() (*Result, error) {
 	// churn/join draws are then collision-free by construction (the
 	// generator never repeats a reserved or produced ID).
 	r.idGen.Reserve(p.IDs...)
-	r.byID = make(map[id.ID]*member, p.N)
+	r.byID.Reserve(p.N)
+	// One descriptor arena per trial: the harness owns it, every node's
+	// structures borrow blocks from it (core.Config.Arena), and applyChurn
+	// returns a victim's blocks the moment it is permanently retired.
+	r.arena = peer.NewDescriptorArena()
+	r.p.Config.Arena = r.arena
 
 	descs := make([]peer.Descriptor, p.N)
 	for i := 0; i < p.N; i++ {
@@ -324,6 +342,9 @@ func (r *runner) run() (*Result, error) {
 		}
 	}
 	res.Stats = r.net.Stats()
+	if p.MemStats {
+		res.HeapBytes = memstats.HeapAlloc()
+	}
 	return res, nil
 }
 
@@ -359,7 +380,7 @@ func (r *runner) spawn(d peer.Descriptor, bootstrapStart int64) (*member, error)
 	if err := r.net.Attach(d.Addr, core.ProtoID, boot, p.Config.Delta, offset); err != nil {
 		return nil, fmt.Errorf("attach bootstrap: %w", err)
 	}
-	r.byID[d.ID] = m
+	r.byID.Put(d.ID, m)
 	return m, nil
 }
 
@@ -380,8 +401,11 @@ func (r *runner) applyChurn() error {
 		victim := alive[perm[i]]
 		victim.alive = false
 		r.net.Kill(victim.desc.Addr)
+		// A churned node never comes back (unlike a livenet Kill/Respawn):
+		// hand its structure blocks to the arena for the replacement wave.
+		victim.boot.Release()
 		r.oracle.Remove(victim.desc.ID)
-		delete(r.byID, victim.desc.ID)
+		r.byID.Delete(victim.desc.ID)
 		removed[i] = victim.desc.ID
 	}
 	added := make([]id.ID, n)

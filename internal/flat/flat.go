@@ -1,0 +1,276 @@
+// Package flat provides compact open-addressed hash containers keyed by
+// 64-bit node identifiers, the ID-table layer of the repository's memory
+// plane. At the paper's scales (2^14-2^20 nodes) the per-node bookkeeping
+// maps — failure-detector miss counts, tombstones, oracle membership — are
+// where Go's built-in map hurts: every map burns ~48 bytes of header plus
+// per-bucket overhead (~10 bytes/slot of metadata at best), and map
+// iteration order is deliberately randomized, which forces every consumer
+// that feeds an RNG or a golden trace to sort or otherwise re-order.
+//
+// Table is a linear-probing open-addressed table over power-of-two backing
+// arrays. Deletion is tombstone-free: the probe chain is repaired by
+// backward-shifting (Knuth vol. 3, 6.4 algorithm R), so lookup cost never
+// degrades with churn and the table never needs a cleanup pass. Keys are
+// scrambled with the splitmix64 finalizer, which is bijective and passes
+// avalanche tests, so adversarial or highly regular ID populations (the
+// simulator allocates IDs uniformly, but tests use tiny dense ones) still
+// probe in O(1) expected.
+//
+// Determinism: iteration visits slots in backing-array order. For one
+// sequence of operations the slot layout is a pure function of that
+// sequence — there is no per-process hash seed — so iteration order is
+// reproducible across runs, which is what lets the deterministic simulator
+// iterate these tables directly where a built-in map would need a sort.
+// Iteration order is NOT insertion order and changes when the table grows,
+// shrinks, or backshifts; callers that need a canonical order still sort.
+//
+// Containers are not safe for concurrent use; callers shard or serialise
+// exactly as they do for built-in maps.
+package flat
+
+import "repro/internal/id"
+
+const (
+	// minCap is the smallest backing-array size; tables shrink no further.
+	minCap = 8
+	// Tables grow at 3/4 load and shrink at 1/8 load. The hysteresis gap
+	// between the two thresholds means a delete immediately followed by an
+	// insert near a boundary cannot oscillate between sizes.
+	growNum, growDen = 3, 4
+	shrinkDen        = 8
+)
+
+// hash scrambles a key with the splitmix64 finalizer.
+func hash(k id.ID) uint64 {
+	x := uint64(k)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Table is an open-addressed map from id.ID to V. The zero value is an
+// empty table ready for use.
+type Table[V any] struct {
+	keys []id.ID
+	vals []V
+	used []bool
+	size int
+}
+
+// NewTable returns a table pre-sized to hold hint entries without growing.
+func NewTable[V any](hint int) *Table[V] {
+	t := &Table[V]{}
+	if hint > 0 {
+		t.rehash(capFor(hint))
+	}
+	return t
+}
+
+// capFor returns the smallest power-of-two capacity that holds n entries
+// under the grow threshold.
+func capFor(n int) int {
+	c := minCap
+	for c*growNum < n*growDen {
+		c <<= 1
+	}
+	return c
+}
+
+// Len returns the number of entries.
+func (t *Table[V]) Len() int { return t.size }
+
+// Reserve grows the backing arrays so that n entries fit without further
+// rehashing. It never shrinks.
+func (t *Table[V]) Reserve(n int) {
+	if c := capFor(max(n, t.size)); c > len(t.keys) {
+		t.rehash(c)
+	}
+}
+
+// Cap returns the current backing-array size (test and sizing hook).
+func (t *Table[V]) Cap() int { return len(t.keys) }
+
+// find probes for k: it returns the slot holding k (found=true), or the
+// empty slot where k would be inserted (found=false, table non-empty).
+func (t *Table[V]) find(k id.ID) (uint64, bool) {
+	mask := uint64(len(t.keys) - 1)
+	i := hash(k) & mask
+	for t.used[i] {
+		if t.keys[i] == k {
+			return i, true
+		}
+		i = (i + 1) & mask
+	}
+	return i, false
+}
+
+// Get returns the value stored under k.
+func (t *Table[V]) Get(k id.ID) (V, bool) {
+	if t.size == 0 {
+		var zero V
+		return zero, false
+	}
+	i, ok := t.find(k)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return t.vals[i], true
+}
+
+// Contains reports whether k is present.
+func (t *Table[V]) Contains(k id.ID) bool {
+	if t.size == 0 {
+		return false
+	}
+	_, ok := t.find(k)
+	return ok
+}
+
+// Put stores v under k, replacing any existing value.
+func (t *Table[V]) Put(k id.ID, v V) {
+	if len(t.keys) == 0 || (t.size+1)*growDen > len(t.keys)*growNum {
+		t.rehash(capFor(t.size + 1))
+	}
+	i, ok := t.find(k)
+	if !ok {
+		t.keys[i] = k
+		t.used[i] = true
+		t.size++
+	}
+	t.vals[i] = v
+}
+
+// Delete removes k, repairing the probe chain by backward shift so no
+// tombstone is left behind. It reports whether k was present.
+func (t *Table[V]) Delete(k id.ID) bool {
+	if t.size == 0 {
+		return false
+	}
+	i, ok := t.find(k)
+	if !ok {
+		return false
+	}
+	mask := uint64(len(t.keys) - 1)
+	// Backward-shift deletion: walk the cluster after slot i; any entry
+	// whose home slot lies cyclically at or before the hole can (and must)
+	// move back into it, re-opening the hole further down. The first empty
+	// slot ends the cluster and the scan.
+	j := i
+	for {
+		j = (j + 1) & mask
+		if !t.used[j] {
+			break
+		}
+		h := hash(t.keys[j]) & mask
+		// The entry at j may fill the hole at i iff i lies within the
+		// cyclic probe span [h, j): dist(h→j) ≥ dist(i→j).
+		if (j-h)&mask >= (j-i)&mask {
+			t.keys[i] = t.keys[j]
+			t.vals[i] = t.vals[j]
+			i = j
+		}
+	}
+	var zero V
+	t.keys[i] = 0
+	t.vals[i] = zero
+	t.used[i] = false
+	t.size--
+	if len(t.keys) > minCap && t.size*shrinkDen < len(t.keys) {
+		t.rehash(capFor(t.size))
+	}
+	return true
+}
+
+// Iter calls fn for each entry in backing-array slot order, stopping early
+// if fn returns false. The order is deterministic for a fixed operation
+// history but is not insertion order. fn must not mutate the table:
+// deletion backshifts entries across the cursor and insertion may rehash.
+// Collect keys first, mutate after.
+func (t *Table[V]) Iter(fn func(k id.ID, v V) bool) {
+	for i := range t.keys {
+		if t.used[i] && !fn(t.keys[i], t.vals[i]) {
+			return
+		}
+	}
+}
+
+// Clear removes every entry, keeping the current capacity.
+func (t *Table[V]) Clear() {
+	clear(t.keys)
+	clear(t.vals)
+	clear(t.used)
+	t.size = 0
+}
+
+// rehash resizes the backing arrays to newCap (a power of two ≥ minCap)
+// and reinserts every entry in old slot order.
+func (t *Table[V]) rehash(newCap int) {
+	if newCap == len(t.keys) {
+		return
+	}
+	oldKeys, oldVals, oldUsed := t.keys, t.vals, t.used
+	t.keys = make([]id.ID, newCap)
+	t.vals = make([]V, newCap)
+	t.used = make([]bool, newCap)
+	mask := uint64(newCap - 1)
+	for i := range oldKeys {
+		if !oldUsed[i] {
+			continue
+		}
+		j := hash(oldKeys[i]) & mask
+		for t.used[j] {
+			j = (j + 1) & mask
+		}
+		t.keys[j] = oldKeys[i]
+		t.vals[j] = oldVals[i]
+		t.used[j] = true
+	}
+}
+
+// Set is an open-addressed set of IDs. The zero value is an empty set
+// ready for use.
+type Set struct {
+	t Table[struct{}]
+}
+
+// NewSet returns a set pre-sized to hold hint members without growing.
+func NewSet(hint int) *Set {
+	s := &Set{}
+	if hint > 0 {
+		s.t.rehash(capFor(hint))
+	}
+	return s
+}
+
+// Len returns the number of members.
+func (s *Set) Len() int { return s.t.size }
+
+// Reserve grows the backing arrays so that n members fit without further
+// rehashing. It never shrinks.
+func (s *Set) Reserve(n int) { s.t.Reserve(n) }
+
+// Contains reports whether k is a member.
+func (s *Set) Contains(k id.ID) bool { return s.t.Contains(k) }
+
+// Add inserts k, reporting whether it was newly added.
+func (s *Set) Add(k id.ID) bool {
+	before := s.t.size
+	s.t.Put(k, struct{}{})
+	return s.t.size > before
+}
+
+// Remove deletes k, reporting whether it was present.
+func (s *Set) Remove(k id.ID) bool { return s.t.Delete(k) }
+
+// Iter calls fn for each member in slot order, stopping early if fn
+// returns false. The same mutation rules as Table.Iter apply.
+func (s *Set) Iter(fn func(k id.ID) bool) {
+	s.t.Iter(func(k id.ID, _ struct{}) bool { return fn(k) })
+}
+
+// Clear removes every member, keeping the current capacity.
+func (s *Set) Clear() { s.t.Clear() }

@@ -1,0 +1,216 @@
+package flat
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/id"
+)
+
+// keysAtHome builds n distinct keys whose hashes all land in the same home
+// slot for the given capacity, forcing a maximal probe cluster — the setup
+// every backshift edge case needs.
+func keysAtHome(t *testing.T, capacity int, home uint64, n int) []id.ID {
+	t.Helper()
+	mask := uint64(capacity - 1)
+	var out []id.ID
+	for raw := uint64(0); len(out) < n; raw++ {
+		k := id.ID(raw)
+		if hash(k)&mask == home {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestBackshiftDeletion drives the documented deletion cases on a table
+// held at fixed capacity (few enough entries that no resize triggers) and
+// checks every surviving key remains reachable — the property backshift
+// exists to preserve.
+func TestBackshiftDeletion(t *testing.T) {
+	const capacity = minCap // 8 slots; ≤5 entries keeps load under 3/4
+	cluster := keysAtHome(t, capacity, 2, 5)
+	home3 := keysAtHome(t, capacity, 3, 2)
+	cases := []struct {
+		name   string
+		insert []id.ID
+		remove []id.ID
+	}{
+		{
+			name:   "head of cluster",
+			insert: cluster[:4],
+			remove: cluster[:1],
+		},
+		{
+			name:   "middle of cluster",
+			insert: cluster[:4],
+			remove: cluster[1:2],
+		},
+		{
+			name:   "tail of cluster",
+			insert: cluster[:4],
+			remove: cluster[3:4],
+		},
+		{
+			name:   "entire cluster front to back",
+			insert: cluster[:5],
+			remove: cluster[:5],
+		},
+		{
+			name:   "entire cluster back to front",
+			insert: cluster[:5],
+			remove: []id.ID{cluster[4], cluster[3], cluster[2], cluster[1], cluster[0]},
+		},
+		{
+			// An entry displaced from home 3 into the tail of home 2's
+			// cluster must NOT be shifted past its own home slot when the
+			// cluster head is deleted.
+			name:   "displaced entry from later home",
+			insert: []id.ID{cluster[0], cluster[1], home3[0], home3[1]},
+			remove: []id.ID{cluster[0]},
+		},
+		{
+			// Deleting around the array boundary exercises the cyclic
+			// distance arithmetic: home 7 cluster wraps into slot 0.
+			name:   "cluster wrapping the array end",
+			insert: keysAtHome(t, capacity, 7, 3),
+			remove: keysAtHome(t, capacity, 7, 1),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tbl := NewTable[int](0)
+			want := map[id.ID]int{}
+			for i, k := range tc.insert {
+				tbl.Put(k, i)
+				want[k] = i
+			}
+			if tbl.Cap() != capacity {
+				t.Fatalf("test setup: cap %d, want %d (case sized to avoid resize)", tbl.Cap(), capacity)
+			}
+			for _, k := range tc.remove {
+				if !tbl.Delete(k) {
+					t.Fatalf("Delete(%v) = false, key was present", k)
+				}
+				delete(want, k)
+				if tbl.Delete(k) {
+					t.Fatalf("second Delete(%v) = true", k)
+				}
+				for wk, wv := range want {
+					got, ok := tbl.Get(wk)
+					if !ok || got != wv {
+						t.Fatalf("after Delete(%v): Get(%v) = %d,%v want %d,true", k, wk, got, ok, wv)
+					}
+				}
+				if tbl.Len() != len(want) {
+					t.Fatalf("after Delete(%v): Len %d want %d", k, tbl.Len(), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestGrowShrinkBoundaries pins the resize thresholds: grow at 3/4 load,
+// shrink at 1/8, floor at minCap.
+func TestGrowShrinkBoundaries(t *testing.T) {
+	tbl := NewTable[int](0)
+	for i := 0; i < 6; i++ {
+		tbl.Put(id.ID(i*1000+1), i)
+	}
+	if tbl.Cap() != 8 {
+		t.Fatalf("cap after 6 inserts = %d, want 8 (6/8 load is at threshold)", tbl.Cap())
+	}
+	tbl.Put(id.ID(7000+1), 7)
+	if tbl.Cap() != 16 {
+		t.Fatalf("cap after 7th insert = %d, want 16 (7/8 > 3/4 load)", tbl.Cap())
+	}
+	for i := 0; i < 100; i++ {
+		tbl.Put(id.ID(i*31+5), i)
+	}
+	grown := tbl.Cap()
+	if grown < 128 {
+		t.Fatalf("cap after 100+ inserts = %d, want ≥128", grown)
+	}
+	keys := []id.ID{}
+	tbl.Iter(func(k id.ID, _ int) bool { keys = append(keys, k); return true })
+	for _, k := range keys {
+		tbl.Delete(k)
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("Len after deleting all = %d", tbl.Len())
+	}
+	if tbl.Cap() != minCap {
+		t.Fatalf("cap after deleting all = %d, want shrink back to %d", tbl.Cap(), minCap)
+	}
+}
+
+// TestIterDeterministicOrder verifies the package's determinism contract:
+// two tables built by the same operation sequence iterate identically.
+func TestIterDeterministicOrder(t *testing.T) {
+	build := func() []id.ID {
+		tbl := NewTable[int](0)
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 500; i++ {
+			tbl.Put(id.ID(rng.Uint64()%300), i)
+			if i%3 == 0 {
+				tbl.Delete(id.ID(rng.Uint64() % 300))
+			}
+		}
+		var order []id.ID
+		tbl.Iter(func(k id.ID, _ int) bool { order = append(order, k); return true })
+		return order
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("iteration lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("iteration order diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestZeroValueTable(t *testing.T) {
+	var tbl Table[int]
+	if tbl.Contains(1) || tbl.Delete(1) || tbl.Len() != 0 {
+		t.Fatal("zero table should be empty and inert")
+	}
+	if _, ok := tbl.Get(1); ok {
+		t.Fatal("Get on zero table returned ok")
+	}
+	tbl.Iter(func(id.ID, int) bool { t.Fatal("Iter on zero table called fn"); return false })
+	tbl.Put(1, 10)
+	if v, ok := tbl.Get(1); !ok || v != 10 {
+		t.Fatalf("Get(1) = %d,%v after Put", v, ok)
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(4)
+	if !s.Add(1) || s.Add(1) {
+		t.Fatal("Add should report first insert true, duplicate false")
+	}
+	s.Add(2)
+	s.Add(0) // the zero ID must be a legal member (no sentinel keys)
+	if !s.Contains(0) || !s.Contains(1) || !s.Contains(2) || s.Contains(3) {
+		t.Fatal("membership wrong")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if !s.Remove(1) || s.Remove(1) {
+		t.Fatal("Remove should report first delete true, second false")
+	}
+	var got []id.ID
+	s.Iter(func(k id.ID) bool { got = append(got, k); return true })
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("members = %v, want [0 2]", got)
+	}
+	s.Clear()
+	if s.Len() != 0 || s.Contains(0) {
+		t.Fatal("Clear left members behind")
+	}
+}

@@ -1,0 +1,128 @@
+package flat
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/id"
+)
+
+// FuzzTableVsMap drives a Table and a built-in map through the same
+// operation stream decoded from the fuzz input and checks they agree after
+// every step: lookups, sizes, and the full iterated contents. A small key
+// universe maximises collision clusters, and the op mix deliberately
+// crosses the grow (3/4) and shrink (1/8) boundaries many times per run.
+func FuzzTableVsMap(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0xff, 0x00, 0xaa, 0x55, 0x01, 0x80})
+	// A run of inserts followed by deletes of the same keys: forces one
+	// full grow/shrink cycle even before the fuzzer mutates anything.
+	seed := make([]byte, 0, 4*64)
+	for i := 0; i < 64; i++ {
+		seed = append(seed, 0, byte(i), 1, byte(i))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl := NewTable[uint16](0)
+		ref := map[id.ID]uint16{}
+		for pos := 0; pos+1 < len(data); pos += 2 {
+			op, kb := data[pos], data[pos+1]
+			// Map the key byte onto a sparse 64-bit universe so clusters
+			// come from genuine hash collisions, not key adjacency.
+			k := id.ID(uint64(kb) * 0x9e3779b97f4a7c15)
+			switch op % 3 {
+			case 0: // insert/overwrite
+				v := uint16(op)<<8 | uint16(kb)
+				tbl.Put(k, v)
+				ref[k] = v
+			case 1: // delete
+				got := tbl.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					t.Fatalf("op %d: Delete(%v) = %v, map says %v", pos/2, k, got, want)
+				}
+				delete(ref, k)
+			case 2: // lookup
+				gv, gok := tbl.Get(k)
+				wv, wok := ref[k]
+				if gok != wok || gv != wv {
+					t.Fatalf("op %d: Get(%v) = %d,%v, map says %d,%v", pos/2, k, gv, gok, wv, wok)
+				}
+			}
+			if tbl.Len() != len(ref) {
+				t.Fatalf("op %d: Len %d, map has %d", pos/2, tbl.Len(), len(ref))
+			}
+			// Cap 0 is legal until the first insert allocates.
+			if c := tbl.Cap(); c != 0 && (c < minCap || c&(c-1) != 0) {
+				t.Fatalf("op %d: cap %d not a power of two ≥ %d", pos/2, c, minCap)
+			}
+			if tbl.Len()*growDen > tbl.Cap()*growNum {
+				t.Fatalf("op %d: load %d/%d above grow threshold", pos/2, tbl.Len(), tbl.Cap())
+			}
+		}
+		// Full-content check: iteration yields exactly the reference map,
+		// each key once, values matching, home-slot reachability intact.
+		seen := map[id.ID]bool{}
+		tbl.Iter(func(k id.ID, v uint16) bool {
+			if seen[k] {
+				t.Fatalf("Iter yielded %v twice", k)
+			}
+			seen[k] = true
+			if wv, ok := ref[k]; !ok || wv != v {
+				t.Fatalf("Iter yielded %v=%d, map says %d,%v", k, v, wv, ok)
+			}
+			return true
+		})
+		if len(seen) != len(ref) {
+			t.Fatalf("Iter yielded %d keys, map has %d", len(seen), len(ref))
+		}
+		for k, wv := range ref {
+			if gv, ok := tbl.Get(k); !ok || gv != wv {
+				t.Fatalf("final Get(%v) = %d,%v, map says %d", k, gv, ok, wv)
+			}
+		}
+	})
+}
+
+// FuzzSetWideKeys drives Set with full-width random keys decoded from the
+// input, checking against a map reference. Complements FuzzTableVsMap's
+// dense universe with arbitrary 64-bit members (including 0).
+func FuzzSetWideKeys(f *testing.F) {
+	buf := make([]byte, 9*8)
+	for i := range buf {
+		buf[i] = byte(i * 37)
+	}
+	f.Add(buf)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewSet(0)
+		ref := map[id.ID]bool{}
+		for pos := 0; pos+9 <= len(data); pos += 9 {
+			k := id.ID(binary.LittleEndian.Uint64(data[pos+1:]))
+			if data[pos]%2 == 0 {
+				if got, want := s.Add(k), !ref[k]; got != want {
+					t.Fatalf("Add(%v) = %v, want %v", k, got, want)
+				}
+				ref[k] = true
+			} else {
+				if got, want := s.Remove(k), ref[k]; got != want {
+					t.Fatalf("Remove(%v) = %v, want %v", k, got, want)
+				}
+				delete(ref, k)
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("Len %d, map has %d", s.Len(), len(ref))
+		}
+		n := 0
+		s.Iter(func(k id.ID) bool {
+			if !ref[k] {
+				t.Fatalf("Iter yielded non-member %v", k)
+			}
+			n++
+			return true
+		})
+		if n != len(ref) {
+			t.Fatalf("Iter yielded %d members, want %d", n, len(ref))
+		}
+	})
+}

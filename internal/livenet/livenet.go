@@ -164,6 +164,14 @@ type command struct {
 	msg  proto.Message
 }
 
+// binding is one (protocol, schedule) pair, stored by value in the host's
+// pid-sorted bindings slice — the slice is the only protocol registry (no
+// shadow map), and at the two-or-three bindings a bootstrap host carries a
+// linear scan of a contiguous value slice beats a map lookup while costing
+// a single allocation for the whole registry. The slice is sealed at Start
+// (Attach must precede it), so interior pointers taken by the host
+// goroutine (tick commands, the init channel) remain stable for the life
+// of the network.
 type binding struct {
 	pid    proto.ProtoID
 	p      proto.Protocol
@@ -174,7 +182,13 @@ type binding struct {
 	// (or is paused for a measurement) accumulates a backlog of stale
 	// ticks and then fires a catch-up gossip storm — hundreds of extra
 	// messages per host — instead of just resuming at its period.
-	tickQueued atomic.Bool
+	//
+	// A bare uint32 driven through sync/atomic rather than atomic.Bool:
+	// the wrapper embeds a noCopy guard, which would (correctly) trip
+	// vet's copylocks on the by-value appends Attach performs before the
+	// slice is sealed. The atomics only start once Start launches the
+	// goroutines, after the last copy.
+	tickQueued uint32
 }
 
 // incarnation is one life of a host: the channels that end it. Kill closes
@@ -218,9 +232,10 @@ type Host struct {
 	// sendRNG drives this host's outbound drop/latency decisions. It is
 	// distinct from the protocol-visible rng and is only touched from the
 	// host's own callback goroutine, so the send path needs no lock.
-	sendRNG  *rand.Rand
-	bindings []*binding
-	protos   map[proto.ProtoID]proto.Protocol
+	sendRNG *rand.Rand
+	// bindings is sorted by pid and sealed at Network.Start; it doubles as
+	// the dispatch table (find) and the tick schedule.
+	bindings []binding
 	ctrl     chan ctrlMsg
 
 	mu  sync.Mutex // lifecycle state
@@ -256,7 +271,6 @@ func (n *Network) AddHost() *Host {
 		inbox:   make(chan command, n.cfg.InboxSize),
 		rng:     rand.New(rand.NewSource(n.rng.Int63())),
 		sendRNG: rand.New(rand.NewSource(n.rng.Int63())),
-		protos:  make(map[proto.ProtoID]proto.Protocol, 2),
 		ctrl:    make(chan ctrlMsg),
 		inc:     newIncarnation(),
 	}
@@ -318,7 +332,7 @@ func (h *Host) drainInbox() {
 		select {
 		case cmd := <-h.inbox:
 			if cmd.tick != nil {
-				cmd.tick.tickQueued.Store(false)
+				atomic.StoreUint32(&cmd.tick.tickQueued, 0)
 			} else {
 				h.net.dropped.Add(1)
 				recycle(cmd.msg)
@@ -445,12 +459,24 @@ func (h *Host) control(pause bool) bool {
 // Attach binds a protocol to the host. period zero installs a purely
 // reactive protocol. Must be called before Network.Start.
 func (h *Host) Attach(pid proto.ProtoID, p proto.Protocol, period, offset time.Duration) error {
-	if _, dup := h.protos[pid]; dup {
+	if h.find(pid) != nil {
 		return fmt.Errorf("livenet attach: protocol %d already bound at host %d", pid, h.addr)
 	}
-	b := &binding{pid: pid, p: p, period: period, offset: offset}
-	h.protos[pid] = p
-	h.bindings = append(h.bindings, b)
+	h.bindings = append(h.bindings, binding{pid: pid, p: p, period: period, offset: offset})
+	for i := len(h.bindings) - 1; i > 0 && h.bindings[i].pid < h.bindings[i-1].pid; i-- {
+		h.bindings[i], h.bindings[i-1] = h.bindings[i-1], h.bindings[i]
+	}
+	return nil
+}
+
+// find returns the binding for pid, or nil. The returned pointer is stable
+// once the network has started (the slice is sealed at Start).
+func (h *Host) find(pid proto.ProtoID) *binding {
+	for i := range h.bindings {
+		if h.bindings[i].pid == pid {
+			return &h.bindings[i]
+		}
+	}
 	return nil
 }
 
@@ -510,8 +536,8 @@ func (h *Host) run(inc *incarnation) {
 	inits := make(chan *binding, len(h.bindings))
 	var timers []*time.Timer
 	var tickers []*time.Ticker
-	for _, b := range h.bindings {
-		b := b
+	for i := range h.bindings {
+		b := &h.bindings[i]
 		timers = append(timers, time.AfterFunc(b.offset, func() {
 			select {
 			case inits <- b:
@@ -580,20 +606,20 @@ func (h *Host) forwardTicks(t *time.Ticker, b *binding, inc *incarnation) {
 		case <-inc.down:
 			return
 		case <-t.C:
-			if !b.tickQueued.CompareAndSwap(false, true) {
+			if !atomic.CompareAndSwapUint32(&b.tickQueued, 0, 1) {
 				continue // a tick is already queued; coalesce
 			}
 			select {
 			case h.inbox <- command{tick: b}:
 			case <-h.net.stop:
-				b.tickQueued.Store(false)
+				atomic.StoreUint32(&b.tickQueued, 0)
 				return
 			case <-inc.down:
-				b.tickQueued.Store(false)
+				atomic.StoreUint32(&b.tickQueued, 0)
 				return
 			default:
 				// Inbox full: skip the tick rather than stall.
-				b.tickQueued.Store(false)
+				atomic.StoreUint32(&b.tickQueued, 0)
 			}
 		}
 	}
@@ -601,20 +627,20 @@ func (h *Host) forwardTicks(t *time.Ticker, b *binding, inc *incarnation) {
 
 func (h *Host) dispatch(cmd command) {
 	if cmd.tick != nil {
-		cmd.tick.tickQueued.Store(false)
+		atomic.StoreUint32(&cmd.tick.tickQueued, 0)
 		h.ticks.Add(1)
 		cmd.tick.p.Tick(hostContext{h: h, pid: cmd.tick.pid})
 		return
 	}
-	p, ok := h.protos[cmd.pid]
-	if !ok {
+	b := h.find(cmd.pid)
+	if b == nil {
 		h.net.dropped.Add(1)
 		recycle(cmd.msg)
 		return
 	}
 	h.net.delivered.Add(1)
 	h.delivered.Add(1)
-	p.Handle(hostContext{h: h, pid: cmd.pid}, cmd.from, cmd.msg)
+	b.p.Handle(hostContext{h: h, pid: cmd.pid}, cmd.from, cmd.msg)
 	recycle(cmd.msg)
 }
 

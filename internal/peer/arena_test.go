@@ -1,0 +1,156 @@
+package peer
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestArenaGetPutReuse checks the core recycling contract: a released block
+// is handed out again for the same capacity, and it comes back zeroed so no
+// descriptor leaks from the previous owner.
+func TestArenaGetPutReuse(t *testing.T) {
+	a := NewDescriptorArena()
+	blk := a.Get(20)
+	if len(blk) != 0 || cap(blk) != 20 {
+		t.Fatalf("Get(20) = len %d cap %d, want 0/20", len(blk), cap(blk))
+	}
+	blk = append(blk, Descriptor{ID: 1, Addr: 2}, Descriptor{ID: 3, Addr: 4})
+	first := &blk[0]
+	a.Put(blk)
+
+	got := a.Get(20)
+	if cap(got) != 20 {
+		t.Fatalf("recycled Get cap = %d, want 20", cap(got))
+	}
+	if &got[:1][0] != first {
+		t.Error("released block was not reused for the same capacity")
+	}
+	for i, d := range got[:cap(got)] {
+		if d != (Descriptor{}) {
+			t.Fatalf("recycled block slot %d not zeroed: %+v", i, d)
+		}
+	}
+}
+
+// TestArenaDistinctCapacities checks that size classes never mix: blocks of
+// different capacities come from different chunks and recycle separately.
+func TestArenaDistinctCapacities(t *testing.T) {
+	a := NewDescriptorArena()
+	b20 := a.Get(20)
+	b3 := a.Get(3)
+	if cap(b20) != 20 || cap(b3) != 3 {
+		t.Fatalf("caps = %d, %d, want 20, 3", cap(b20), cap(b3))
+	}
+	a.Put(b20)
+	if got := a.Get(3); cap(got) != 3 {
+		t.Errorf("Get(3) after Put(cap-20 block) returned cap %d", cap(got))
+	}
+}
+
+// TestArenaChunkCarving checks that consecutive blocks of one capacity are
+// carved from a single chunk (adjacent memory) and that the three-index
+// carve caps each block so appends cannot bleed into its neighbour.
+func TestArenaChunkCarving(t *testing.T) {
+	a := NewDescriptorArena()
+	b1 := a.Get(4)
+	b2 := a.Get(4)
+	b1 = append(b1, Descriptor{ID: 10}, Descriptor{ID: 11}, Descriptor{ID: 12}, Descriptor{ID: 13})
+	// Appending past b1's capacity must reallocate, not overwrite b2.
+	b1 = append(b1, Descriptor{ID: 99})
+	b2 = append(b2, Descriptor{ID: 20})
+	if b2[0].ID != 20 {
+		t.Errorf("neighbour block corrupted by over-append: %+v", b2[0])
+	}
+	_ = b1
+}
+
+// TestArenaNilFallback checks the nil-arena contract: Get allocates from
+// the heap, Put is a no-op, Outstanding is 0.
+func TestArenaNilFallback(t *testing.T) {
+	var a *DescriptorArena
+	blk := a.Get(5)
+	if len(blk) != 0 || cap(blk) != 5 {
+		t.Fatalf("nil Get(5) = len %d cap %d, want 0/5", len(blk), cap(blk))
+	}
+	a.Put(blk)
+	if a.Outstanding() != 0 {
+		t.Error("nil arena Outstanding != 0")
+	}
+	if a.Get(0) != nil {
+		t.Error("Get(0) should return nil")
+	}
+}
+
+// TestArenaOutstanding checks the leak/double-free detector: Outstanding
+// counts exactly the blocks issued and not yet returned.
+func TestArenaOutstanding(t *testing.T) {
+	a := NewDescriptorArena()
+	b1, b2, b3 := a.Get(8), a.Get(8), a.Get(16)
+	if got := a.Outstanding(); got != 3 {
+		t.Fatalf("Outstanding = %d, want 3", got)
+	}
+	a.Put(b1)
+	a.Put(b3)
+	if got := a.Outstanding(); got != 1 {
+		t.Fatalf("Outstanding = %d, want 1", got)
+	}
+	a.Put(b2)
+	if got := a.Outstanding(); got != 0 {
+		t.Fatalf("Outstanding = %d, want 0", got)
+	}
+}
+
+// TestArenaAdoptsForeignBlock checks that a heap slice handed to Put (from
+// code mixing arena-backed and plain construction) is adopted into the
+// matching size class instead of rejected.
+func TestArenaAdoptsForeignBlock(t *testing.T) {
+	a := NewDescriptorArena()
+	foreign := make([]Descriptor, 0, 7)
+	foreign = append(foreign, Descriptor{ID: 42})
+	a.Put(foreign)
+	got := a.Get(7)
+	if cap(got) != 7 {
+		t.Fatalf("Get(7) cap = %d", cap(got))
+	}
+	if &got[:1][0] != &foreign[:1][0] {
+		t.Error("adopted block was not recycled")
+	}
+	if got[:1][0] != (Descriptor{}) {
+		t.Error("adopted block not zeroed")
+	}
+}
+
+// TestArenaConcurrentHammer drives Get/Put from many goroutines — the
+// livenet startup pattern, where every host draws its node's blocks
+// concurrently. Run under -race; the final Outstanding must be zero.
+func TestArenaConcurrentHammer(t *testing.T) {
+	a := NewDescriptorArena()
+	caps := []int{3, 8, 20, 30}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			held := make([][]Descriptor, 0, 16)
+			for i := 0; i < 500; i++ {
+				c := caps[(g+i)%len(caps)]
+				blk := a.Get(c)
+				blk = append(blk, Descriptor{ID: 1}) // dirty it
+				held = append(held, blk)
+				if len(held) == 16 {
+					for _, b := range held {
+						a.Put(b)
+					}
+					held = held[:0]
+				}
+			}
+			for _, b := range held {
+				a.Put(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := a.Outstanding(); got != 0 {
+		t.Errorf("Outstanding after hammer = %d, want 0", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"slices"
 	"sort"
 
+	"repro/internal/flat"
 	"repro/internal/id"
 )
 
@@ -40,27 +41,29 @@ func (d Descriptor) String() string {
 }
 
 // Set is an order-preserving collection of descriptors with O(1)
-// deduplication by ID. The zero value is not ready to use; call NewSet.
+// deduplication by ID. The index is an open-addressed flat table rather
+// than a built-in map: half the memory per entry, and the layout (hence
+// any iteration a future caller might add) is deterministic. The zero
+// value is an empty set ready for use; NewSet pre-sizes one.
 type Set struct {
 	list  []Descriptor
-	index map[id.ID]int
+	index flat.Table[int32]
 }
 
 // NewSet returns an empty Set with capacity for n descriptors.
 func NewSet(n int) *Set {
-	return &Set{
-		list:  make([]Descriptor, 0, n),
-		index: make(map[id.ID]int, n),
-	}
+	s := &Set{list: make([]Descriptor, 0, n)}
+	s.index.Reserve(n)
+	return s
 }
 
 // Add inserts d unless a descriptor with the same ID is already present.
 // It reports whether the descriptor was inserted.
 func (s *Set) Add(d Descriptor) bool {
-	if _, dup := s.index[d.ID]; dup {
+	if s.index.Contains(d.ID) {
 		return false
 	}
-	s.index[d.ID] = len(s.list)
+	s.index.Put(d.ID, int32(len(s.list)))
 	s.list = append(s.list, d)
 	return true
 }
@@ -74,24 +77,22 @@ func (s *Set) AddAll(ds []Descriptor) {
 
 // Contains reports whether a descriptor with the given ID is present.
 func (s *Set) Contains(nodeID id.ID) bool {
-	_, ok := s.index[nodeID]
-	return ok
+	return s.index.Contains(nodeID)
 }
 
-// Remove deletes the descriptor with the given ID, if present.
+// Remove deletes the descriptor with the given ID, if present. The last
+// list element takes the vacated position (swap-delete), so insertion
+// order is preserved only up to removals.
 func (s *Set) Remove(nodeID id.ID) {
-	i, ok := s.index[nodeID]
+	i, ok := s.index.Get(nodeID)
 	if !ok {
 		return
 	}
-	last := len(s.list) - 1
+	last := int32(len(s.list) - 1)
 	s.list[i] = s.list[last]
-	s.index[s.list[i].ID] = i
+	s.index.Put(s.list[i].ID, i)
 	s.list = s.list[:last]
-	delete(s.index, nodeID)
-	if i == last {
-		return
-	}
+	s.index.Delete(nodeID)
 }
 
 // Len returns the number of descriptors in the set.
@@ -101,7 +102,7 @@ func (s *Set) Len() int { return len(s.list) }
 // can serve as a reusable scratch buffer on a hot path.
 func (s *Set) Reset() {
 	s.list = s.list[:0]
-	clear(s.index)
+	s.index.Clear()
 }
 
 // Slice returns the descriptors in insertion order (modulo removals). The

@@ -4,28 +4,47 @@ import "repro/internal/sched"
 
 // eventQueue orders simulator events by (virtual time, insertion sequence).
 // It is a thin adapter over the shared calendar-queue subsystem
-// (internal/sched): a 256-bucket wheel of width 1 — one bucket per virtual
-// instant, sized to the engines' bounded horizon (tick period 10, latency
-// ≤ ~10) — with the overflow level absorbing anything scheduled further out
-// (long At offsets, churn schedules). Enqueue and dequeue are O(1)
-// amortised, against the O(log n) sifts of the pooled indexed min-heap this
-// replaced, and steady state allocates nothing: buckets recycle their
-// backing arrays in place.
+// (internal/sched): a wheel of width-1 buckets — one bucket per virtual
+// instant — whose ring size New derives from the network's latency bound
+// (queueBuckets), with the overflow level absorbing anything scheduled
+// further out (long At offsets, churn schedules). Enqueue and dequeue are
+// O(1) amortised, against the O(log n) sifts of the pooled indexed
+// min-heap this replaced, and steady state allocates nothing: buckets
+// recycle their backing arrays in place.
 //
 // Ordering is the heap's exact contract — strict (time, seq) with seq the
 // insertion sequence — so pop order, and therefore every golden trace, is
-// byte-identical to both previous implementations (see
-// TestGoldenQueueOrderMatchesLegacyHeap).
+// byte-identical to both previous implementations and independent of the
+// bucket geometry (see TestGoldenQueueOrderMatchesLegacyHeap and the
+// determinism contract in internal/sched).
 //
 // The wheel stamps its own insertion sequence; event.seq is not consulted
 // for ordering here. Network.push still stamps it because the legacy-heap
 // golden fixture orders by it — the two sequences advance in lockstep (one
 // stamp per push), which is exactly what the golden test asserts pop by pop.
 type eventQueue struct {
-	q sched.Queue[event]
+	q *sched.Queue[event]
 }
 
-func (q *eventQueue) len() int { return q.q.Len() }
+// init sizes the wheel: `buckets` width-1 buckets (rounded up to a power
+// of two by sched.New).
+func (q *eventQueue) init(buckets int) { q.q = sched.New[event](0, buckets) }
+
+// lazyInit keeps the zero eventQueue usable (tests build one directly);
+// Network.New always calls init with the derived geometry first.
+func (q *eventQueue) lazyInit() *sched.Queue[event] {
+	if q.q == nil {
+		q.init(256)
+	}
+	return q.q
+}
+
+func (q *eventQueue) len() int {
+	if q.q == nil {
+		return 0
+	}
+	return q.q.Len()
+}
 
 // peekTime returns the virtual time of the earliest event. It must not be
 // called on an empty queue.
@@ -35,7 +54,7 @@ func (q *eventQueue) peekTime() int64 {
 }
 
 // push inserts e, ordered at e.time with ties broken by insertion order.
-func (q *eventQueue) push(e event) { q.q.Push(e.time, e) }
+func (q *eventQueue) push(e event) { q.lazyInit().Push(e.time, e) }
 
 // pop removes and returns the earliest event. It must not be called on an
 // empty queue.

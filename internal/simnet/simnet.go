@@ -65,16 +65,35 @@ type event struct {
 	fn func()
 }
 
+// binding is one protocol instance bound to a node, its tick period, and
+// its pre-built callback context. Bindings are stored by value in a small
+// per-node slice sorted by ProtoID (two entries in a typical deployment:
+// sampling under bootstrap), replacing the per-node map whose header and
+// bucket overhead dominated engine memory at 2^18 nodes.
 type binding struct {
+	pid    ProtoID
 	proto  Protocol
 	period int64
 	ctx    Context
 }
 
+// nodeState is stored by value in the network's node table, so a node
+// costs its bindings and RNG — no per-node box, no map header.
 type nodeState struct {
-	alive  bool
-	protos map[ProtoID]*binding
-	rng    *rand.Rand
+	alive    bool
+	rng      *rand.Rand
+	bindings []binding
+}
+
+// find returns the binding for pid, or nil. The slice is sorted by pid but
+// holds so few entries that a linear scan beats a binary search.
+func (st *nodeState) find(pid ProtoID) *binding {
+	for i := range st.bindings {
+		if st.bindings[i].pid == pid {
+			return &st.bindings[i]
+		}
+	}
+	return nil
 }
 
 // Stats aggregates network traffic counters.
@@ -93,7 +112,7 @@ type Network struct {
 	now       int64
 	seq       uint64
 	queue     eventQueue
-	nodes     []*nodeState
+	nodes     []nodeState
 	stats     Stats
 	linkFault func(from, to peer.Addr) bool
 }
@@ -103,10 +122,33 @@ func New(cfg Config) *Network {
 	if cfg.MaxLatency < cfg.MinLatency {
 		cfg.MaxLatency = cfg.MinLatency
 	}
-	return &Network{
+	n := &Network{
 		cfg: cfg,
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
+	n.queue.init(queueBuckets(cfg))
+	return n
+}
+
+// queueBuckets derives the calendar queue's level-0 window from the
+// config's latency bound instead of assuming the default 256-instant
+// geometry. Buckets stay one instant wide — intra-bucket order is then
+// insertion order by construction — and the ring is widened until the
+// scheduling horizon (messages up to MaxLatency ahead, ticks a few periods
+// ahead) fits comfortably inside level 0, so a long-latency configuration
+// does not cycle every message through the overflow level. Pop order is
+// independent of the geometry (see internal/sched), so this cannot perturb
+// a golden trace.
+func queueBuckets(cfg Config) int {
+	const (
+		defaultBuckets = 256
+		maxBuckets     = 1 << 16
+	)
+	buckets := defaultBuckets
+	for int64(buckets) < 4*cfg.MaxLatency && buckets < maxBuckets {
+		buckets <<= 1
+	}
+	return buckets
 }
 
 // Now returns the current virtual time.
@@ -118,12 +160,10 @@ func (n *Network) Stats() Stats { return n.stats }
 // AddNode allocates a new live node and returns its address.
 func (n *Network) AddNode() peer.Addr {
 	addr := peer.Addr(len(n.nodes))
-	st := &nodeState{
-		alive:  true,
-		protos: make(map[ProtoID]*binding, 2),
-		rng:    rand.New(rand.NewSource(n.rng.Int63())),
-	}
-	n.nodes = append(n.nodes, st)
+	n.nodes = append(n.nodes, nodeState{
+		alive: true,
+		rng:   rand.New(rand.NewSource(n.rng.Int63())),
+	})
 	return addr
 }
 
@@ -146,25 +186,41 @@ func (n *Network) Kill(addr peer.Addr) {
 // Attach binds a protocol instance to a node. The protocol's Init runs at
 // startOffset, and Tick fires every period after that. Attaching with period
 // zero installs a purely reactive protocol (Handle only, after Init).
+//
+// The binding lands in the node's pid-sorted binding slice. The slice may
+// move when a later Attach appends to it, so the scheduled Init closure
+// re-resolves the binding by (addr, pid) at fire time instead of capturing
+// a pointer into it.
 func (n *Network) Attach(addr peer.Addr, pid ProtoID, p Protocol, period, startOffset int64) error {
 	if !n.valid(addr) {
 		return fmt.Errorf("attach: unknown address %d", addr)
 	}
-	st := n.nodes[addr]
-	if _, dup := st.protos[pid]; dup {
+	st := &n.nodes[addr]
+	if st.find(pid) != nil {
 		return fmt.Errorf("attach: protocol %d already bound at address %d", pid, addr)
 	}
-	b := &binding{proto: p, period: period}
-	b.ctx = Context{net: n, self: addr, node: st, pid: pid}
-	st.protos[pid] = b
+	st.bindings = append(st.bindings, binding{
+		pid:    pid,
+		proto:  p,
+		period: period,
+		ctx:    Context{net: n, self: addr, pid: pid},
+	})
+	for i := len(st.bindings) - 1; i > 0 && st.bindings[i].pid < st.bindings[i-1].pid; i-- {
+		st.bindings[i], st.bindings[i-1] = st.bindings[i-1], st.bindings[i]
+	}
 	start := n.now + startOffset
 	n.push(event{time: start, kind: evFunc, fn: func() {
+		st := &n.nodes[addr]
 		if !st.alive {
 			return
 		}
-		p.Init(&b.ctx)
-		if period > 0 {
-			n.push(event{time: start + period, kind: evTick, to: addr, pid: pid})
+		b := st.find(pid)
+		if b == nil {
+			return
+		}
+		b.proto.Init(&b.ctx)
+		if b.period > 0 {
+			n.push(event{time: start + b.period, kind: evTick, to: addr, pid: pid})
 		}
 	}})
 	return nil
@@ -264,12 +320,12 @@ func (n *Network) dispatch(e event) {
 	case evFunc:
 		e.fn()
 	case evTick:
-		st := n.nodes[e.to]
+		st := &n.nodes[e.to]
 		if !st.alive {
 			return
 		}
-		b, ok := st.protos[e.pid]
-		if !ok {
+		b := st.find(e.pid)
+		if b == nil {
 			return
 		}
 		b.proto.Tick(&b.ctx)
@@ -280,9 +336,8 @@ func (n *Network) dispatch(e event) {
 			recycle(e.msg)
 			return
 		}
-		st := n.nodes[e.to]
-		b, ok := st.protos[e.pid]
-		if !ok {
+		b := n.nodes[e.to].find(e.pid)
+		if b == nil {
 			n.stats.DeadDest++
 			recycle(e.msg)
 			return
@@ -325,11 +380,11 @@ func (n *Network) valid(addr peer.Addr) bool {
 
 // Context is the simulator's implementation of proto.Context: the node's
 // own address, the virtual clock, a per-node deterministic RNG, and the
-// ability to send messages.
+// ability to send messages. Contexts live inside binding values; callbacks
+// receive a pointer valid for the duration of the call.
 type Context struct {
 	net  *Network
 	self peer.Addr
-	node *nodeState
 	pid  ProtoID
 }
 
@@ -342,7 +397,7 @@ func (c *Context) Self() peer.Addr { return c.self }
 func (c *Context) Now() int64 { return c.net.now }
 
 // Rand returns the node's private deterministic random source.
-func (c *Context) Rand() *rand.Rand { return c.node.rng }
+func (c *Context) Rand() *rand.Rand { return c.net.nodes[c.self].rng }
 
 // Send transmits msg to the same protocol binding on the destination node.
 func (c *Context) Send(to peer.Addr, msg Message) {

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/flat"
 	"repro/internal/id"
 	"repro/internal/peer"
 )
@@ -35,7 +36,9 @@ type Truth struct {
 	b, k, c int
 	sorted  []id.ID
 	spare   []id.ID // second buffer, swapped with sorted by Update merges
-	members map[id.ID]struct{}
+	// members is the membership test; the sorted ring above stays the
+	// iteration authority (flat.Set iterates in slot order, not ID order).
+	members flat.Set
 	root    *trieNode
 }
 
@@ -46,12 +49,11 @@ func New(ids []id.ID, b, k, c int) (*Truth, error) {
 		return nil, fmt.Errorf("truth: empty membership")
 	}
 	t := &Truth{
-		b:       b,
-		k:       k,
-		c:       c,
-		sorted:  make([]id.ID, len(ids)),
-		members: make(map[id.ID]struct{}, len(ids)),
-		root:    &trieNode{},
+		b:      b,
+		k:      k,
+		c:      c,
+		sorted: make([]id.ID, len(ids)),
+		root:   &trieNode{},
 	}
 	copy(t.sorted, ids)
 	slices.Sort(t.sorted)
@@ -60,8 +62,9 @@ func New(ids []id.ID, b, k, c int) (*Truth, error) {
 			return nil, fmt.Errorf("truth: duplicate id %s", t.sorted[i])
 		}
 	}
+	t.members.Reserve(len(t.sorted))
 	for _, v := range t.sorted {
-		t.members[v] = struct{}{}
+		t.members.Add(v)
 	}
 	for _, v := range ids {
 		t.root.insert(v, 0, b)
@@ -110,19 +113,18 @@ func (t *Truth) Update(added, removed []id.ID) error {
 	// Small batches are checked by scanning; large ones (mass joins)
 	// through a throwaway set, keeping validation O(changes) rather
 	// than O(changes²).
-	var addedSet map[id.ID]struct{}
+	var addedSet *flat.Set
 	if len(added)+len(removed) > 64 {
-		addedSet = make(map[id.ID]struct{}, len(added)+len(removed))
+		addedSet = flat.NewSet(len(added) + len(removed))
 	}
 	for i, v := range removed {
-		if _, ok := t.members[v]; !ok {
+		if !t.members.Contains(v) {
 			return fmt.Errorf("truth: remove of non-member %s", v)
 		}
 		if addedSet != nil {
-			if _, dup := addedSet[v]; dup {
+			if !addedSet.Add(v) {
 				return fmt.Errorf("truth: duplicate id %s in update batch", v)
 			}
-			addedSet[v] = struct{}{}
 			continue
 		}
 		for j := 0; j < i; j++ {
@@ -132,14 +134,13 @@ func (t *Truth) Update(added, removed []id.ID) error {
 		}
 	}
 	for i, v := range added {
-		if _, ok := t.members[v]; ok {
+		if t.members.Contains(v) {
 			return fmt.Errorf("truth: duplicate id %s", v)
 		}
 		if addedSet != nil {
-			if _, dup := addedSet[v]; dup {
+			if !addedSet.Add(v) {
 				return fmt.Errorf("truth: duplicate id %s in update batch", v)
 			}
-			addedSet[v] = struct{}{}
 			continue
 		}
 		for j := 0; j < i; j++ {
@@ -154,11 +155,11 @@ func (t *Truth) Update(added, removed []id.ID) error {
 		}
 	}
 	for _, v := range removed {
-		delete(t.members, v)
+		t.members.Remove(v)
 		t.root.remove(v, 0, t.b)
 	}
 	for _, v := range added {
-		t.members[v] = struct{}{}
+		t.members.Add(v)
 		t.root.insert(v, 0, t.b)
 	}
 	// Merge the surviving ring with the sorted additions into the spare
@@ -168,7 +169,7 @@ func (t *Truth) Update(added, removed []id.ID) error {
 	merged := addSorted[len(addSorted):]
 	ai := 0
 	for _, v := range t.sorted {
-		if _, ok := t.members[v]; !ok {
+		if !t.members.Contains(v) {
 			continue // removed this update
 		}
 		for ai < len(addSorted) && addSorted[ai] < v {
@@ -461,7 +462,7 @@ func (t *Truth) PrefixMissingLive(self id.ID, pt *core.PrefixTable) (missing, to
 func (t *Truth) PrefixMissingLiveWith(expected [][]int, pt *core.PrefixTable) (missing, total, dead int) {
 	live := make(map[int]map[int]int, len(expected))
 	pt.Each(func(row, col int, d peer.Descriptor) bool {
-		if _, ok := t.members[d.ID]; ok {
+		if t.members.Contains(d.ID) {
 			if live[row] == nil {
 				live[row] = make(map[int]int)
 			}
@@ -490,12 +491,12 @@ func (t *Truth) PrefixMissingLiveWith(expected [][]int, pt *core.PrefixTable) (m
 func (t *Truth) LeafSetDead(ls *core.LeafSet) int {
 	dead := 0
 	for _, d := range ls.Successors() {
-		if _, ok := t.members[d.ID]; !ok {
+		if !t.members.Contains(d.ID) {
 			dead++
 		}
 	}
 	for _, d := range ls.Predecessors() {
-		if _, ok := t.members[d.ID]; !ok {
+		if !t.members.Contains(d.ID) {
 			dead++
 		}
 	}
@@ -503,10 +504,7 @@ func (t *Truth) LeafSetDead(ls *core.LeafSet) int {
 }
 
 // Contains reports whether nodeID is a current member.
-func (t *Truth) Contains(nodeID id.ID) bool {
-	_, ok := t.members[nodeID]
-	return ok
-}
+func (t *Truth) Contains(nodeID id.ID) bool { return t.members.Contains(nodeID) }
 
 // AvailableAt returns the exact number of member IDs whose slot relative to
 // self is (row, col), uncapped by k. self must be a member. Used by tests
@@ -606,7 +604,7 @@ func (t *Truth) measureNode(m Member, scr *measureScratch) (nc nodeCounts, ok bo
 	rows := t.expectedSlotCountsInto(m.Self, scr.expected)
 	maxRow := -1
 	m.Table.Each(func(row, col int, d peer.Descriptor) bool {
-		if _, ok := t.members[d.ID]; ok {
+		if t.members.Contains(d.ID) {
 			scr.live[row][col]++
 			if row > maxRow {
 				maxRow = row
