@@ -431,6 +431,43 @@ func (p *pingProto) Init(ctx proto.Context)                                     
 func (p *pingProto) Tick(ctx proto.Context)                                      { ctx.Send(p.target, emptyMsg{}) }
 func (p *pingProto) Handle(ctx proto.Context, from peer.Addr, msg proto.Message) {}
 
+// BenchmarkSimnetSharded compares the sequential engine (shards=1) against
+// the conservative-window parallel engine at GOMAXPROCS shards on the same
+// fixed-length bootstrap workload (KeepRunningAfterPerfect pins the cycle
+// count, so both variants execute the same number of protocol cycles).
+// The gap between the two sub-benchmarks is the engine-level speedup the
+// sharded event loop buys on one trial; MeasureWorkers parallelises the
+// measurement plane identically in both, isolating the dispatch loop.
+func BenchmarkSimnetSharded(b *testing.B) {
+	par := runtime.GOMAXPROCS(0)
+	if par < 2 {
+		// On a single-core runner the parallel leg still runs the sharded
+		// engine (measuring its overhead) instead of duplicating shards=1.
+		par = 2
+	}
+	for _, shards := range []int{1, par} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.Run(experiment.Params{
+					N:                       4096,
+					Seed:                    int64(9000 + i),
+					Config:                  core.DefaultConfig(),
+					MaxCycles:               12,
+					KeepRunningAfterPerfect: true,
+					Shards:                  shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Points) != 12 {
+					b.Fatalf("ran %d cycles, want 12", len(res.Points))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRunTrials measures the multi-trial experiment runner at
 // increasing worker counts over a fixed seed set, recording the parallel
 // speedup of independent-seed campaigns.

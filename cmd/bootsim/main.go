@@ -47,6 +47,7 @@ type options struct {
 	workers        int
 	measureWorkers int
 	measureSample  int
+	shards         int
 	memstats       bool
 	cfg            core.Config
 }
@@ -78,7 +79,8 @@ func parseArgs(args []string) (*options, error) {
 		workers  = fs.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 		measureW = fs.Int("measure-workers", 0, "goroutines sharding the per-cycle ground-truth measurement (0 = GOMAXPROCS; output is identical for any value)")
 		measureS = fs.Int("measure-sample", 0, "per-cycle measurement sample size with 95% confidence intervals (0 = exact full-network measurement)")
-		memst    = fs.Bool("memstats", false, "print a # memstats header per size (live heap bytes per node, peak RSS)")
+		shards   = fs.Int("shards", 0, "parallel simulation shards per run (0/1 = sequential engine; any value >1 yields one deterministic trace, distinct from the sequential one)")
+		memst    = fs.Bool("memstats", false, "print a # memstats header per size (live heap bytes per node, peak RSS; under -trials the campaign peak across workers)")
 		b        = fs.Int("b", core.DefaultB, "bits per digit")
 		k        = fs.Int("k", core.DefaultK, "entries per prefix-table slot")
 		c        = fs.Int("c", core.DefaultC, "leaf set size")
@@ -98,6 +100,7 @@ func parseArgs(args []string) (*options, error) {
 		workers:        *workers,
 		measureWorkers: *measureW,
 		measureSample:  *measureS,
+		shards:         *shards,
 		memstats:       *memst,
 		cfg: core.Config{
 			B: *b, K: *k, C: *c, CR: *cr, Delta: core.DefaultDelta,
@@ -132,6 +135,9 @@ func parseArgs(args []string) (*options, error) {
 	}
 	if o.measureSample < 0 {
 		return nil, fmt.Errorf("-measure-sample must not be negative, got %d", o.measureSample)
+	}
+	if o.shards < 0 {
+		return nil, fmt.Errorf("-shards must not be negative, got %d", o.shards)
 	}
 	if o.trials > 1 {
 		if o.experiment != "fig3" && o.experiment != "fig4" {
@@ -204,6 +210,7 @@ func runConvergence(o *options, out io.Writer, drop float64, label string) error
 				WarmupCycles:   o.warmup,
 				MeasureWorkers: o.measureWorkers,
 				MeasureSample:  o.measureSample,
+				Shards:         o.shards,
 				MemStats:       o.memstats,
 			})
 			if err != nil {
@@ -235,12 +242,21 @@ func runConvergenceTrials(o *options, out io.Writer, drop float64, defCycles int
 			WarmupCycles:   o.warmup,
 			MeasureWorkers: o.measureWorkers,
 			MeasureSample:  o.measureSample,
+			Shards:         o.shards,
+			MemStats:       o.memstats,
 		}, experiment.Seeds(o.seed, o.trials), o.workers)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "# n=%d trials=%d converged_trials=%d\n",
 			n, o.trials, res.ConvergedTrials())
+		if o.memstats {
+			// Campaign accounting: peak across per-trial samples, with the
+			// above-baseline heap attributed over the res.Workers trials
+			// that were live at once.
+			fmt.Fprintf(out, "# memstats n=%d trials=%d workers=%d %s\n",
+				n, o.trials, res.Workers, res.Mem.Line(n, res.Workers))
+		}
 		if err := res.WriteCSV(out); err != nil {
 			return err
 		}
@@ -264,6 +280,7 @@ func runChurn(o *options, out io.Writer) error {
 			Churn:                   experiment.Churn{Rate: 0.01, StartCycle: 0, StopCycle: 20},
 			MeasureWorkers:          o.measureWorkers,
 			MeasureSample:           o.measureSample,
+			Shards:                  o.shards,
 			MemStats:                o.memstats,
 			KeepRunningAfterPerfect: true,
 		})
@@ -295,6 +312,7 @@ func runMassJoin(o *options, out io.Writer) error {
 			WarmupCycles:   o.warmup,
 			MeasureWorkers: o.measureWorkers,
 			MeasureSample:  o.measureSample,
+			Shards:         o.shards,
 			MemStats:       o.memstats,
 			Join:           experiment.Join{Cycle: 10, Count: n},
 		})
@@ -327,6 +345,7 @@ func runScaling(o *options, out io.Writer) error {
 				WarmupCycles:   o.warmup,
 				MeasureWorkers: o.measureWorkers,
 				MeasureSample:  o.measureSample,
+				Shards:         o.shards,
 			})
 			if err != nil {
 				return err
@@ -367,6 +386,7 @@ func runAblation(o *options, out io.Writer) error {
 				WarmupCycles:   o.warmup,
 				MeasureWorkers: o.measureWorkers,
 				MeasureSample:  o.measureSample,
+				Shards:         o.shards,
 			})
 			if err != nil {
 				return err

@@ -27,6 +27,7 @@ func TestParseArgsErrors(t *testing.T) {
 		{"-workers", "-1"},
 		{"-experiment", "scaling", "-trials", "4"},
 		{"-experiment", "fig3", "-trials", "2", "-runs", "2"},
+		{"-shards", "-1"},
 	}
 	for _, args := range cases {
 		if _, err := parseArgs(args); err == nil {
@@ -90,6 +91,47 @@ func TestRunFig3MemStats(t *testing.T) {
 	}
 	if strings.Contains(out, "heap_alloc_bytes=0 ") {
 		t.Error("memstats header reports a zero heap: capture ran after teardown")
+	}
+}
+
+func TestRunTrialsMemStats(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-experiment", "fig3", "-n", "128", "-trials", "2", "-workers", "2", "-memstats",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# memstats n=128 trials=2 workers=2 heap_baseline_bytes=") {
+		t.Errorf("missing campaign memstats header:\n%s", out)
+	}
+	if !strings.Contains(out, "heap_peak_bytes=") {
+		t.Errorf("campaign memstats header lacks a peak figure:\n%s", out)
+	}
+	if strings.Contains(out, "heap_peak_bytes=0 ") {
+		t.Error("memstats header reports a zero peak heap: samples ran after teardown")
+	}
+}
+
+// TestRunFig3Sharded is the CLI half of the shard-count invariance
+// guarantee: every -shards value > 1 renders byte-identical output.
+// (-shards 1 output is pinned separately by TestGoldenTraceShardInvariance
+// against the sequential engine.)
+func TestRunFig3Sharded(t *testing.T) {
+	render := func(shards string) string {
+		var sb strings.Builder
+		if err := run([]string{"-experiment", "fig3", "-n", "128", "-shards", shards}, &sb); err != nil {
+			t.Fatalf("shards=%s: %v", shards, err)
+		}
+		return sb.String()
+	}
+	base := render("2")
+	if !strings.Contains(base, "converged_at=") {
+		t.Fatalf("missing convergence summary:\n%s", base)
+	}
+	if got := render("3"); got != base {
+		t.Errorf("shards=3 output differs from shards=2")
 	}
 }
 

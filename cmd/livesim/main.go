@@ -28,8 +28,9 @@
 //	-cycles int     campaign length in periods (default 30)
 //	-seed int       base seed; trial i uses seed+i*7919 (default 42)
 //	-inbox int      per-host inbox bound; 0 = engine default (default 0)
-//	-memstats       print a # memstats header per trial: live heap bytes
-//	                per node and peak RSS (default false)
+//	-memstats       print a # memstats campaign header: baseline and peak
+//	                live heap across all trials, heap bytes per node at
+//	                peak, and peak RSS (default false)
 //
 // Examples:
 //
@@ -54,7 +55,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/livenet"
-	"repro/internal/memstats"
 )
 
 func main() {
@@ -190,12 +190,15 @@ func run(args []string, out io.Writer) error {
 			i, t.Seed, t.ConvergedAt, t.Killed, t.Respawned,
 			f.LeafMissing, f.PrefixMissing,
 			t.Stats.Sent, t.Stats.Delivered, t.Stats.Dropped, t.Stats.Overflow)
-		if o.memstats {
-			// With concurrent trials the heap snapshot covers whatever
-			// trials were live at capture; run -workers 1 (or one trial)
-			// for a clean per-node attribution.
-			fmt.Fprintf(out, "# memstats trial=%d n=%d %s\n", i, o.n, memstats.Line(o.n, t.HeapBytes))
-		}
+	}
+	if o.memstats {
+		// Campaign-level accounting: one tracker samples the heap at the
+		// end of every trial (hosts still running) and keeps the peak, so
+		// the figure reflects the res.Workers trials live at once rather
+		// than whichever stragglers a single end-of-campaign snapshot
+		// would catch.
+		fmt.Fprintf(out, "# memstats n=%d trials=%d workers=%d %s\n",
+			o.n, o.trials, res.Workers, res.Mem.Line(o.n, res.Workers))
 	}
 	total := res.TotalStats()
 	fmt.Fprintf(out, "# converged_trials=%d/%d total_sent=%d total_delivered=%d total_dropped=%d total_overflow=%d\n",

@@ -38,18 +38,21 @@ func TestLiveSimSmallCampaign(t *testing.T) {
 func TestLiveSimMemStats(t *testing.T) {
 	var sb strings.Builder
 	err := run([]string{
-		"-n", "32", "-trials", "1", "-scenario", "none",
+		"-n", "32", "-trials", "2", "-workers", "2", "-scenario", "none",
 		"-cycles", "4", "-period", "5ms", "-memstats",
 	}, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	if !strings.Contains(out, "# memstats trial=0 n=32 heap_alloc_bytes=") {
-		t.Errorf("missing memstats header:\n%s", out)
+	if !strings.Contains(out, "# memstats n=32 trials=2 workers=2 heap_baseline_bytes=") {
+		t.Errorf("missing campaign memstats header:\n%s", out)
 	}
-	if strings.Contains(out, "heap_alloc_bytes=0 ") {
-		t.Error("memstats header reports a zero heap: capture ran after teardown")
+	if !strings.Contains(out, "heap_peak_bytes=") {
+		t.Errorf("campaign memstats header lacks a peak figure:\n%s", out)
+	}
+	if strings.Contains(out, "heap_peak_bytes=0 ") {
+		t.Error("memstats header reports a zero peak heap: samples ran after teardown")
 	}
 }
 

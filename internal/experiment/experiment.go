@@ -116,14 +116,28 @@ type Params struct {
 	// plots means over node samples, and at paper scale full measurement
 	// costs seconds per cycle. Zero (the default) measures every node.
 	// Sampling touches only the measurement plane — the protocol trace
-	// is bit-identical either way — but a cycle whose sample shows zero
-	// missing entries counts as converged, so a sampled run may stop on
-	// an optimistic sample where a full measurement would continue.
+	// is bit-identical either way. A cycle whose sample shows zero
+	// missing entries does not count as converged on the sample's word
+	// alone: the runner re-checks with one exact MeasureAll over the full
+	// population and only declares convergence when that confirms, so an
+	// optimistic sample costs one full measurement instead of ending the
+	// run early. The reported per-cycle Point is still the sampled
+	// estimate either way.
 	MeasureSample int
 	// MeasureConfidence is the two-sided confidence level of the sampled
 	// estimator's intervals; 0 selects 0.95. Ignored for full
 	// measurement.
 	MeasureConfidence float64
+	// Shards is the simulation engine's parallel shard count
+	// (simnet.Config.Shards): 0 or 1 runs the sequential engine, higher
+	// values partition the nodes across that many workers with
+	// conservative lookahead windows. Runs with any fixed Shards > 1 are
+	// deterministic, and every Shards > 1 value produces the same trace as
+	// every other — but that trace differs from the Shards <= 1 one: with
+	// parallel dispatch each node draws from its own oracle Stream (keyed
+	// by spawn order, as livenet does) instead of the single shared oracle
+	// stream, whose draw order is inherently dispatch-order dependent.
+	Shards int
 	// KeepRunningAfterPerfect continues until MaxCycles even after
 	// perfection, for steady-state studies.
 	KeepRunningAfterPerfect bool
@@ -132,6 +146,12 @@ type Params struct {
 	// reachable — the CLI's -memstats accounting. It runs once, after the
 	// last cycle, so the protocol trace is untouched.
 	MemStats bool
+
+	// memCampaign, when non-nil, redirects the MemStats capture through a
+	// shared campaign tracker: the end-of-trial heap sample also feeds the
+	// campaign's peak high-water mark. Set only by RunTrials, which owns
+	// the campaign across its worker pool.
+	memCampaign *memstats.Campaign
 }
 
 // Join describes a massive simultaneous join event.
@@ -168,6 +188,9 @@ func (p Params) Validate() error {
 	}
 	if p.MeasureConfidence < 0 || p.MeasureConfidence >= 1 {
 		return fmt.Errorf("experiment: MeasureConfidence = %v out of [0, 1)", p.MeasureConfidence)
+	}
+	if p.Shards < 0 {
+		return fmt.Errorf("experiment: Shards = %d must not be negative", p.Shards)
 	}
 	return p.Config.Validate()
 }
@@ -226,7 +249,17 @@ type member struct {
 	boot  *core.Node
 	nc    *newscast.Protocol
 	alive bool
+	// joinCycle is the cycle the node was spawned in (0 for the initial
+	// population). Sampled measurement stratifies on it: nodes younger
+	// than freshAgeCycles are the "fresh" stratum (truth.Member.Fresh).
+	joinCycle int
 }
+
+// freshAgeCycles is the stratification boundary for sampled measurement: a
+// node that joined fewer than this many cycles before the measurement is
+// "fresh" — its structures are still mostly empty, so it sits in the other
+// mode of the bimodal missing-count mixture churn creates.
+const freshAgeCycles = 2
 
 // Run executes the experiment and returns the per-cycle series.
 func Run(p Params) (*Result, error) {
@@ -261,11 +294,14 @@ type runner struct {
 	// aliveBuf and measBuf are reused across measure calls.
 	aliveBuf []*member
 	measBuf  []truth.Member
+	// cycle is the loop's current cycle index; spawn stamps it on new
+	// members so measurement can stratify by node age.
+	cycle int
 }
 
 func (r *runner) run() (*Result, error) {
 	p := r.p
-	r.net = simnet.New(simnet.Config{Seed: p.Seed, Drop: p.Drop})
+	r.net = simnet.New(simnet.Config{Seed: p.Seed, Drop: p.Drop, Shards: p.Shards})
 	r.rng = rand.New(rand.NewSource(p.Seed + 0x9e3779b9))
 	r.measRNG = rand.New(rand.NewSource(p.Seed + 0x5ca1ab1e))
 	r.idGen = id.NewGenerator(p.Seed + 0x7f4a7c15)
@@ -318,6 +354,7 @@ func (r *runner) run() (*Result, error) {
 	res := &Result{Params: p, ConvergedAt: -1}
 	start := r.net.Now()
 	for cycle := 0; cycle < p.MaxCycles; cycle++ {
+		r.cycle = cycle
 		if p.Churn.Active(cycle) {
 			if err := r.applyChurn(); err != nil {
 				return nil, err
@@ -332,7 +369,15 @@ func (r *runner) run() (*Result, error) {
 		pt := r.measure(cycle)
 		res.Points = append(res.Points, pt)
 		joinPending := p.Join.Count > 0 && cycle < p.Join.Cycle
-		if pt.LeafMissing == 0 && pt.PrefixMissing == 0 && !joinPending {
+		perfect := pt.LeafMissing == 0 && pt.PrefixMissing == 0 && !joinPending
+		if perfect && pt.SampleSize > 0 {
+			// An all-perfect sample is only evidence, not proof: a small
+			// sample can miss every imperfect node. Confirm with one exact
+			// measurement before the run is allowed to stop (or stamp
+			// ConvergedAt). The reported point stays the sampled estimate.
+			perfect = r.confirmPerfect()
+		}
+		if perfect {
 			if res.ConvergedAt < 0 {
 				res.ConvergedAt = cycle
 			}
@@ -343,9 +388,21 @@ func (r *runner) run() (*Result, error) {
 	}
 	res.Stats = r.net.Stats()
 	if p.MemStats {
-		res.HeapBytes = memstats.HeapAlloc()
+		if p.memCampaign != nil {
+			res.HeapBytes = p.memCampaign.Sample()
+		} else {
+			res.HeapBytes = memstats.HeapAlloc()
+		}
 	}
 	return res, nil
+}
+
+// confirmPerfect re-checks an all-perfect sampled measurement against the
+// full live population (measBuf still holds this cycle's members). Exact
+// integer counts, so "confirmed" means genuinely zero missing entries.
+func (r *runner) confirmPerfect() bool {
+	agg := r.tr.MeasureAll(r.measBuf, r.p.MeasureWorkers)
+	return agg.LeafMissing == 0 && agg.PrefixMissing == 0
 }
 
 // spawn creates a node: its sampling instance (live NEWSCAST or shared
@@ -353,7 +410,7 @@ func (r *runner) run() (*Result, error) {
 // within one Δ, as the paper prescribes.
 func (r *runner) spawn(d peer.Descriptor, bootstrapStart int64) (*member, error) {
 	p := r.p
-	m := &member{desc: d, alive: true}
+	m := &member{desc: d, alive: true, joinCycle: r.cycle}
 	var svc sampling.Service
 	switch p.Sampler {
 	case SamplerNewscast:
@@ -369,7 +426,18 @@ func (r *runner) spawn(d peer.Descriptor, bootstrapStart int64) (*member, error)
 		r.samplerSeq++
 		svc = newscast.NewSampler(m.nc, p.Seed+0x51*r.samplerSeq)
 	default:
-		svc = r.oracle
+		if p.Shards > 1 {
+			// Parallel dispatch would interleave draws on the shared
+			// oracle stream in worker order, making the trace depend on
+			// scheduling. Give every node its own deterministic Stream
+			// keyed by spawn order instead (livenet does the same); the
+			// node's draw sequence is then a pure function of the seed
+			// and invariant across shard counts.
+			r.samplerSeq++
+			svc = r.oracle.Stream(r.samplerSeq)
+		} else {
+			svc = r.oracle
+		}
 	}
 	boot, err := core.NewNode(d, p.Config, svc)
 	if err != nil {
@@ -460,7 +528,10 @@ func (r *runner) measure(cycle int) Point {
 	alive := r.aliveMembers()
 	ms := r.measBuf[:0]
 	for _, m := range alive {
-		ms = append(ms, truth.Member{Self: m.desc.ID, Leaf: m.boot.Leaf(), Table: m.boot.Table()})
+		ms = append(ms, truth.Member{
+			Self: m.desc.ID, Leaf: m.boot.Leaf(), Table: m.boot.Table(),
+			Fresh: cycle-m.joinCycle < freshAgeCycles,
+		})
 	}
 	r.measBuf = ms
 	st := r.net.Stats()

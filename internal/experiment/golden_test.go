@@ -67,6 +67,65 @@ func TestGoldenTrace(t *testing.T) {
 	}
 }
 
+// TestGoldenTraceShardInvariance pins the sharded engine's contract at the
+// harness level. Shards=1 must be byte-identical to the default (Shards=0)
+// run — same CSV hash TestGoldenCSVByteIdentical pins — because a single
+// shard runs the very same sequential engine. Every Shards>1 value must
+// produce one common trace: the conservative-window engine's merge order
+// and the per-node oracle streams are shard-count invariant. That common
+// trace legitimately differs from the sequential one (per-node streams
+// replace the shared oracle stream, whose draw order only exists under
+// sequential dispatch); both sides converging within a couple of cycles of
+// each other ties the two families together behaviorally.
+func TestGoldenTraceShardInvariance(t *testing.T) {
+	run := func(shards int) (*Result, string) {
+		res, err := Run(Params{
+			N:         1024,
+			Seed:      42,
+			Config:    core.DefaultConfig(),
+			MaxCycles: 80,
+			Shards:    shards,
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		return res, hex.EncodeToString(sum[:])
+	}
+
+	// Shards=1 is the sequential engine verbatim: the pre-PR golden pin.
+	const seqSum = "9d97478c075a1cb31310643ed283dd5427de223a9aa1f9f8f10b04e020e10a4f"
+	seq, sum := run(1)
+	if sum != seqSum {
+		t.Errorf("shards=1 CSV sha256 = %s, want pinned sequential %s", sum, seqSum)
+	}
+
+	ref, refSum := run(2)
+	for _, shards := range []int{4} {
+		res, sum := run(shards)
+		if sum != refSum {
+			t.Errorf("shards=%d CSV sha256 = %s, want %s (shards=2)", shards, sum, refSum)
+		}
+		if res.Stats != ref.Stats {
+			t.Errorf("shards=%d Stats = %+v, want %+v (shards=2)", shards, res.Stats, ref.Stats)
+		}
+		if res.ConvergedAt != ref.ConvergedAt {
+			t.Errorf("shards=%d ConvergedAt = %d, want %d (shards=2)", shards, res.ConvergedAt, ref.ConvergedAt)
+		}
+	}
+	// Different RNG streams shift convergence by a cycle or so; anything
+	// beyond that means the parallel engine changed the protocol, not just
+	// the randomness.
+	if d := ref.ConvergedAt - seq.ConvergedAt; ref.ConvergedAt < 0 || d > 2 || d < -2 {
+		t.Errorf("sharded runs converge at %d, sequential at %d; expected within 2 cycles",
+			ref.ConvergedAt, seq.ConvergedAt)
+	}
+}
+
 // TestGoldenCSVByteIdentical pins the full-measurement CSV output to
 // hashes captured immediately before the sampled measurement plane landed
 // (PR 4): with MeasureSample off, every byte of the emitted series —

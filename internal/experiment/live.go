@@ -74,8 +74,14 @@ type LiveParams struct {
 	WarmupCycles int
 	// MemStats records the live heap into LiveResult.HeapBytes after the
 	// last cycle, with every host still running (see Params.MemStats).
-	// Meaningful for single trials; concurrent trials share one heap.
+	// A single trial's figure is directly attributable; across a
+	// concurrent campaign use LiveTrialsResult.Mem, the shared tracker
+	// RunLiveTrials maintains from the same per-trial samples.
 	MemStats bool
+
+	// memCampaign mirrors Params.memCampaign: set only by RunLiveTrials so
+	// every trial's end-of-run heap sample also feeds the campaign peak.
+	memCampaign *memstats.Campaign
 }
 
 // liveTicksPerCoreSecond is the sustained protocol-callback throughput
@@ -312,10 +318,19 @@ func RunLive(p LiveParams, seed int64) (*LiveResult, error) {
 		}
 		measBuf = ms
 		var pt Point
+		confirmed := true
 		st := net.Snapshot()
 		if p.MeasureSample > 0 {
 			sa := tr.MeasureSampleConf(ms, p.MeasureSample, p.MeasureConfidence, measRNG, p.MeasureWorkers)
 			pt = pointFromSampleAggregate(cycle, sa, alive, st.Sent, st.Dropped, 0)
+			if pt.LeafMissing == 0 && pt.PrefixMissing == 0 && pt.SampleSize > 0 {
+				// An all-perfect sample can simply have missed every
+				// imperfect node; confirm with one exact measurement while
+				// the world is still paused before the convergence check
+				// below may trust it. The point stays the sampled estimate.
+				agg := tr.MeasureAll(ms, p.MeasureWorkers)
+				confirmed = agg.LeafMissing == 0 && agg.PrefixMissing == 0
+			}
 		} else {
 			agg := tr.MeasureAll(ms, p.MeasureWorkers)
 			pt = pointFromAggregate(cycle, agg, alive, st.Sent, st.Dropped, 0)
@@ -326,7 +341,7 @@ func RunLive(p LiveParams, seed int64) (*LiveResult, error) {
 		// Events apply at the start of their cycle and measurement runs
 		// at its end, so a perfect measurement at the last event's own
 		// cycle already reflects the fully applied fault plan.
-		if pt.LeafMissing == 0 && pt.PrefixMissing == 0 && cycle >= lastEvent {
+		if pt.LeafMissing == 0 && pt.PrefixMissing == 0 && confirmed && cycle >= lastEvent {
 			if res.ConvergedAt < 0 {
 				res.ConvergedAt = cycle
 			}
@@ -336,7 +351,11 @@ func RunLive(p LiveParams, seed int64) (*LiveResult, error) {
 		}
 	}
 	if p.MemStats {
-		res.HeapBytes = memstats.HeapAlloc()
+		if p.memCampaign != nil {
+			res.HeapBytes = p.memCampaign.Sample()
+		} else {
+			res.HeapBytes = memstats.HeapAlloc()
+		}
 	}
 	net.Close()
 	res.Stats = net.Snapshot()
@@ -438,6 +457,11 @@ type LiveTrialsResult struct {
 	Trials []*LiveResult
 	// Agg is the per-cycle aggregate series (see TrialsResult.Agg).
 	Agg []AggPoint
+	// Workers is the resolved worker-pool size the trials actually ran on.
+	Workers int
+	// Mem is the campaign heap tracker (see TrialsResult.Mem). Nil unless
+	// Params.MemStats was set.
+	Mem *memstats.Campaign
 }
 
 // RunLiveTrials runs one independent live trial per seed, fanning the
@@ -463,6 +487,11 @@ func RunLiveTrials(p LiveParams, seeds []int64, workers int) (*LiveTrialsResult,
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	// Shared campaign tracker (see RunTrials): every trial samples the
+	// heap before its shutdown and the tracker keeps the high-water mark.
+	if p.MemStats {
+		p.memCampaign = memstats.StartCampaign()
+	}
 
 	results := make([]*LiveResult, len(seeds))
 	errs := make([]error, len(seeds))
@@ -482,10 +511,12 @@ func RunLiveTrials(p LiveParams, seeds []int64, workers int) (*LiveTrialsResult,
 		conv[i] = r.ConvergedAt
 	}
 	return &LiveTrialsResult{
-		Params: p,
-		Seeds:  seeds,
-		Trials: results,
-		Agg:    aggregateSeries(series, conv),
+		Params:  p,
+		Seeds:   seeds,
+		Trials:  results,
+		Agg:     aggregateSeries(series, conv),
+		Workers: workers,
+		Mem:     p.memCampaign,
 	}, nil
 }
 

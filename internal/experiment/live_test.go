@@ -90,6 +90,7 @@ func TestLiveTrialsChurnCampaign(t *testing.T) {
 	p := quickLiveParams(48, 16)
 	p.Scenario = livenet.ScenarioChurn
 	p.KeepRunningAfterPerfect = true
+	p.MemStats = true
 	res, err := RunLiveTrials(p, Seeds(11, 3), 2)
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +98,22 @@ func TestLiveTrialsChurnCampaign(t *testing.T) {
 	if len(res.Trials) != 3 {
 		t.Fatalf("got %d trials, want 3", len(res.Trials))
 	}
+	if res.Workers != 2 {
+		t.Errorf("resolved Workers = %d, want 2", res.Workers)
+	}
+	if res.Mem == nil {
+		t.Fatal("MemStats campaign tracker missing from LiveTrialsResult")
+	}
+	if res.Mem.Peak() < res.Mem.Baseline() {
+		t.Errorf("campaign peak %d below baseline %d", res.Mem.Peak(), res.Mem.Baseline())
+	}
 	for i, tr := range res.Trials {
+		if tr.HeapBytes == 0 {
+			t.Errorf("trial %d: HeapBytes not sampled under MemStats", i)
+		}
+		if tr.HeapBytes > res.Mem.Peak() {
+			t.Errorf("trial %d: heap sample %d above campaign peak %d", i, tr.HeapBytes, res.Mem.Peak())
+		}
 		if tr.Killed == 0 || tr.Respawned == 0 {
 			t.Errorf("trial %d: churn scenario applied no lifecycle events (killed=%d respawned=%d)",
 				i, tr.Killed, tr.Respawned)

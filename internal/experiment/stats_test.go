@@ -71,6 +71,136 @@ func TestStatSampleCoverage(t *testing.T) {
 	}
 }
 
+// TestStatSampleCoverageHighChurn is the regression for the stratified
+// estimator: a long run under sustained churn leaves a small fresh
+// minority (nodes younger than two cycles, here 40 of 4096) whose missing
+// counts sit orders of magnitude above the established majority's. A
+// simple random sample contains a binomially-varying — often zero —
+// number of those nodes, its residual distribution is bimodal, and the
+// classical t-interval undercovers badly. Stratifying by age (Member.Fresh,
+// as runner.measure marks it) fixes each stratum's count and restores
+// nominal coverage. Both halves are seeded and deterministic: the covered
+// counts are fixed numbers, so the unstratified half is a pinned
+// demonstration of the failure, not a flake risk.
+func TestStatSampleCoverageHighChurn(t *testing.T) {
+	p := Params{
+		N:                       4096,
+		Seed:                    0xC0FFEE,
+		Config:                  core.DefaultConfig(),
+		MaxCycles:               14,
+		Sampler:                 SamplerOracle,
+		Churn:                   Churn{Rate: 0.005, StartCycle: 0, StopCycle: 1 << 20},
+		KeepRunningAfterPerfect: true,
+		MeasureWorkers:          2,
+	}
+	r := &runner{p: p}
+	if _, err := r.run(); err != nil {
+		t.Fatal(err)
+	}
+	lastCycle := p.MaxCycles - 1
+	alive := r.aliveMembers()
+	stratified := make([]truth.Member, 0, len(alive))
+	flat := make([]truth.Member, 0, len(alive))
+	nFresh := 0
+	for _, m := range alive {
+		tm := truth.Member{Self: m.desc.ID, Leaf: m.boot.Leaf(), Table: m.boot.Table()}
+		flat = append(flat, tm)
+		tm.Fresh = lastCycle-m.joinCycle < freshAgeCycles
+		if tm.Fresh {
+			nFresh++
+		}
+		stratified = append(stratified, tm)
+	}
+	if nFresh == 0 || nFresh == len(alive) {
+		t.Fatalf("degenerate age mix (%d fresh of %d); the stratified path needs both strata", nFresh, len(alive))
+	}
+	exact := r.tr.MeasureAll(flat, 2)
+	exactLeaf := float64(exact.LeafMissing) / float64(exact.LeafTotal)
+	exactPrefix := float64(exact.PrefixMissing) / float64(exact.PrefixTotal)
+	if exactLeaf == 0 || exactPrefix == 0 {
+		t.Fatalf("population fully converged (leaf=%v prefix=%v)", exactLeaf, exactPrefix)
+	}
+
+	const trials, sampleSize = 100, 224
+	coverage := func(ms []truth.Member, wantStrata int) (leaf, prefix int) {
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(int64(0x9999 + trial*7919)))
+			sa := r.tr.MeasureSample(ms, sampleSize, rng, 2)
+			if sa.Strata != wantStrata {
+				t.Fatalf("trial %d: Strata = %d, want %d", trial, sa.Strata, wantStrata)
+			}
+			if sa.SampleSize != sampleSize {
+				t.Fatalf("trial %d: SampleSize = %d, want %d", trial, sa.SampleSize, sampleSize)
+			}
+			if sa.LeafMissing.Covers(exactLeaf) {
+				leaf++
+			}
+			if sa.PrefixMissing.Covers(exactPrefix) {
+				prefix++
+			}
+		}
+		return leaf, prefix
+	}
+	sl, sp := coverage(stratified, 2)
+	ul, up := coverage(flat, 1)
+	t.Logf("fresh=%d/%d exact leaf=%.6f prefix=%.6f; stratified leaf=%d/100 prefix=%d/100, unstratified leaf=%d/100 prefix=%d/100",
+		nFresh, len(alive), exactLeaf, exactPrefix, sl, sp, ul, up)
+	const wantCovered = 93
+	if sl < wantCovered || sp < wantCovered {
+		t.Errorf("stratified coverage leaf=%d prefix=%d, want both >= %d", sl, sp, wantCovered)
+	}
+	// The unstratified halves are the pinned failure: if these start
+	// passing, the scenario no longer stresses the estimator and the test
+	// should move somewhere that does.
+	if ul >= wantCovered || up >= wantCovered {
+		t.Errorf("unstratified coverage leaf=%d prefix=%d unexpectedly reached %d; scenario no longer demonstrates the failure", ul, up, wantCovered)
+	}
+}
+
+// TestSampledConvergenceConfirmed pins the stopping rule of sampled runs:
+// an all-zero sample alone must not end the run. With seed 3 the n=256
+// network truly converges at cycle 7, but a size-8 sample reads all-perfect
+// from cycle 4 on (the sample simply misses the last few imperfect nodes).
+// The runner now confirms any perfect-looking sample with one exact
+// MeasureAll, so the sampled run must stop at the same cycle as the full
+// one — under the old rule it declared convergence at cycle 4.
+func TestSampledConvergenceConfirmed(t *testing.T) {
+	base := Params{N: 256, Seed: 3, Config: core.DefaultConfig(), MaxCycles: 40}
+	full, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.ConvergedAt < 0 {
+		t.Fatalf("full run never converged within %d cycles", base.MaxCycles)
+	}
+	sp := base
+	sp.MeasureSample = 8
+	sampled, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scenario must actually exercise the confirm path: at least one
+	// pre-convergence cycle whose sample read all-perfect. Deterministic —
+	// if this stops holding, re-pin a seed that produces an optimistic
+	// sample (most small seeds do).
+	optimistic := 0
+	for c := 0; c < full.ConvergedAt && c < len(sampled.Points); c++ {
+		if pt := sampled.Points[c]; pt.LeafMissing == 0 && pt.PrefixMissing == 0 {
+			optimistic++
+		}
+	}
+	if optimistic == 0 {
+		t.Error("no optimistic pre-convergence sample; the scenario no longer exercises the confirmation")
+	}
+	if sampled.ConvergedAt != full.ConvergedAt {
+		t.Errorf("sampled ConvergedAt = %d, want %d (exact convergence)", sampled.ConvergedAt, full.ConvergedAt)
+	}
+	if len(sampled.Points) != full.ConvergedAt+1 {
+		t.Errorf("sampled run stopped after %d cycles, want %d: an unconfirmed sample ended it early",
+			len(sampled.Points), full.ConvergedAt+1)
+	}
+}
+
 // TestStatSampledRunMatchesFullTrend runs the same seeded experiment twice
 // — full measurement and sampled measurement — and checks (a) the protocol
 // trace is bit-identical (sampling must never leak into the data plane)

@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+
+	"repro/internal/memstats"
 )
 
 // AggPoint is one per-cycle aggregate of a convergence metric across
@@ -40,6 +42,13 @@ type TrialsResult struct {
 	// stopped) before the longest trial ended are padded with their final
 	// point, so a finished run keeps contributing its converged state.
 	Agg []AggPoint
+	// Workers is the resolved worker-pool size the trials actually ran on
+	// (after the GOMAXPROCS default and the clamp to the trial count).
+	Workers int
+	// Mem is the campaign heap tracker — baseline before the first trial,
+	// peak across every trial's end-of-run sample taken while that trial's
+	// network was still live. Nil unless Params.MemStats was set.
+	Mem *memstats.Campaign
 }
 
 // Seeds returns n deterministic trial seeds derived from base, suitable for
@@ -72,6 +81,26 @@ func RunTrials(p Params, seeds []int64, workers int) (*TrialsResult, error) {
 	}
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
+		// A sharded trial already runs Params.Shards engine workers, so
+		// the default splits the cores between the two levels instead of
+		// oversubscribing trials*shards goroutines onto GOMAXPROCS.
+		// An explicit workers count is always honored as given.
+		if p.Shards > 1 {
+			workers /= p.Shards
+			if workers < 1 {
+				workers = 1
+			}
+		}
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	// One campaign tracker across the pool: each worker samples the heap
+	// at the end of each of its trials (network still reachable), and the
+	// tracker keeps the high-water mark — a per-trial end-of-run snapshot
+	// is meaningless when concurrent trials share the heap.
+	if p.MemStats {
+		p.memCampaign = memstats.StartCampaign()
 	}
 
 	results := make([]*Result, len(seeds))
@@ -88,10 +117,12 @@ func RunTrials(p Params, seeds []int64, workers int) (*TrialsResult, error) {
 		}
 	}
 	return &TrialsResult{
-		Params: p,
-		Seeds:  seeds,
-		Trials: results,
-		Agg:    aggregate(results),
+		Params:  p,
+		Seeds:   seeds,
+		Trials:  results,
+		Agg:     aggregate(results),
+		Workers: workers,
+		Mem:     p.memCampaign,
 	}, nil
 }
 

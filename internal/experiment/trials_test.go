@@ -99,6 +99,47 @@ func TestRunTrialsAggregateInvariants(t *testing.T) {
 	}
 }
 
+// TestRunTrialsMemCampaign checks the campaign heap accounting: every
+// trial's HeapBytes comes from a shared tracker whose peak bounds all the
+// per-trial samples, and the resolved worker count is reported.
+func TestRunTrialsMemCampaign(t *testing.T) {
+	p := trialParams(128)
+	p.MemStats = true
+	res, err := RunTrials(p, Seeds(11, 3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 2 {
+		t.Errorf("resolved Workers = %d, want 2", res.Workers)
+	}
+	if res.Mem == nil {
+		t.Fatal("MemStats campaign tracker missing from TrialsResult")
+	}
+	if res.Mem.Baseline() == 0 {
+		t.Error("campaign baseline is 0")
+	}
+	for i, tr := range res.Trials {
+		if tr.HeapBytes == 0 {
+			t.Errorf("trial %d: HeapBytes not sampled under MemStats", i)
+		}
+		if tr.HeapBytes > res.Mem.Peak() {
+			t.Errorf("trial %d: heap sample %d above campaign peak %d", i, tr.HeapBytes, res.Mem.Peak())
+		}
+	}
+
+	p.MemStats = false
+	res, err = RunTrials(p, Seeds(11, 2), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem != nil {
+		t.Error("campaign tracker allocated without MemStats")
+	}
+	if res.Workers != 2 {
+		t.Errorf("resolved Workers = %d, want 2 (clamped to the trial count)", res.Workers)
+	}
+}
+
 func TestRunTrialsErrors(t *testing.T) {
 	if _, err := RunTrials(trialParams(128), nil, 1); err == nil {
 		t.Error("no seeds accepted")

@@ -187,6 +187,18 @@ func (q *Queue[T]) PeekTime() (int64, bool) {
 	return q.settle().at, true
 }
 
+// Peek returns the earliest entry's value without removing it — the value
+// Pop would return next. The sharded simulator uses it to compare the heads
+// of several wheels by their embedded sequence numbers when it must merge
+// serially.
+func (q *Queue[T]) Peek() (T, bool) {
+	if q.size == 0 {
+		var zero T
+		return zero, false
+	}
+	return q.settle().val, true
+}
+
 // Pop removes and returns the earliest entry's value.
 func (q *Queue[T]) Pop() (T, bool) {
 	if q.size == 0 {

@@ -64,6 +64,33 @@ func TestQueueOrdering(t *testing.T) {
 	}
 }
 
+// TestQueuePeek pins Peek's contract: it returns exactly what the next Pop
+// returns, without consuming it, at every point of a randomized workload.
+func TestQueuePeek(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := New[int](0, 16)
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue reported ok")
+	}
+	for i := 0; i < 2000; i++ {
+		q.Push(int64(rng.Intn(500)), i)
+		if rng.Intn(3) == 0 {
+			pv, pok := q.Peek()
+			v, ok := q.Pop()
+			if !pok || !ok || pv != v {
+				t.Fatalf("Peek = (%d, %v) but Pop = (%d, %v)", pv, pok, v, ok)
+			}
+		}
+	}
+	for q.Len() > 0 {
+		pv, _ := q.Peek()
+		v, _ := q.Pop()
+		if pv != v {
+			t.Fatalf("Peek = %d but Pop = %d", pv, v)
+		}
+	}
+}
+
 // TestQueueInterleavedModel is the main correctness hammer: a long random
 // interleaving of pushes (including far-future overflow times, same-instant
 // ties, and pushes at or before the cursor) and pops, checked against a

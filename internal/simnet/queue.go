@@ -62,3 +62,13 @@ func (q *eventQueue) pop() event {
 	e, _ := q.q.Pop()
 	return e
 }
+
+// peek returns the earliest event without removing it. The sharded engine's
+// serial windows use it to merge several wheels by the events' embedded
+// (time, seq) keys.
+func (q *eventQueue) peek() (event, bool) {
+	if q.q == nil || q.q.Len() == 0 {
+		return event{}, false
+	}
+	return q.q.Peek()
+}

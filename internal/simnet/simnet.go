@@ -42,6 +42,22 @@ type Config struct {
 	// virtual time units. Zero values mean instant delivery (latency 1,
 	// so a message never arrives at its send instant).
 	MinLatency, MaxLatency int64
+	// Shards, when greater than 1, partitions the nodes across that many
+	// parallel execution shards: each shard runs its own calendar wheel
+	// inside conservative lookahead windows and the shards exchange
+	// generated events at window barriers (see shard.go). 0 or 1 selects
+	// the sequential engine, the golden reference.
+	//
+	// Determinism: a sharded run is a pure function of the configuration,
+	// and for workloads whose engine-level randomness is never consulted
+	// mid-window — Drop == 0 and a fixed latency, which includes the
+	// default instant-delivery config — the trace is byte-identical to
+	// the sequential engine for every shard count. With Drop > 0 or a
+	// latency window, in-flight draws come from per-node wire RNGs
+	// instead of the global stream, so runs remain deterministic and
+	// shard-count invariant for every Shards > 1, but diverge from the
+	// sequential (Shards <= 1) trace.
+	Shards int
 }
 
 type eventKind uint8
@@ -50,6 +66,11 @@ const (
 	evTick eventKind = iota + 1
 	evMessage
 	evFunc
+	// evInit fires a binding's Init and schedules its first tick. A
+	// dedicated kind (not an evFunc closure) so the sharded engine can
+	// dispatch node starts in parallel windows: the event names its owner
+	// node, and dispatching it touches only that node's state.
+	evInit
 )
 
 type event struct {
@@ -83,6 +104,13 @@ type nodeState struct {
 	alive    bool
 	rng      *rand.Rand
 	bindings []binding
+	// shard is the node's home execution shard (sharded mode only): the
+	// shard that dispatches its events and owns its mutable state.
+	shard int32
+	// wire draws the node's in-window drop and latency decisions in
+	// sharded mode. Per node — not per shard, not global — so the stream
+	// each node consumes is independent of the shard count.
+	wire wireRNG
 }
 
 // find returns the binding for pid, or nil. The slice is sorted by pid but
@@ -105,6 +133,23 @@ type Stats struct {
 	WireUnits int64 // cumulative size of sent messages (descriptor units)
 }
 
+// runMode tracks what the engine is doing, so Send and Context.Now can
+// route state reads and writes to the right owner. It only ever changes on
+// the driving goroutine while no shard worker runs, so workers observing it
+// mid-window always see a stable value.
+type runMode uint8
+
+const (
+	// modeIdle: between Run windows; harness calls mutate global state.
+	modeIdle runMode = iota
+	// modeParallel: shard workers dispatch concurrently; generated events
+	// buffer in per-shard lists until the window barrier.
+	modeParallel
+	// modeSerial: a window containing evFunc events runs single-threaded
+	// in global (time, seq) order, exactly like the sequential engine.
+	modeSerial
+)
+
 // Network is a deterministic discrete-event simulated network.
 type Network struct {
 	cfg       Config
@@ -115,6 +160,23 @@ type Network struct {
 	nodes     []nodeState
 	stats     Stats
 	linkFault func(from, to peer.Addr) bool
+
+	// Sharded-execution state; shards is nil in sequential mode.
+	shards []shardState
+	// coord holds evFunc events (At closures), which may touch arbitrary
+	// state and therefore never run inside a parallel window: any window
+	// with a due coord event runs serially instead.
+	coord eventQueue
+	mode  runMode
+	// minPeriod is the smallest positive tick period ever attached; it
+	// bounds the conservative lookahead window alongside the latency
+	// floor (see lookahead).
+	minPeriod int64
+	// barrier, when set, runs after every sharded window with all shards
+	// quiescent — the measurement plane's hook into a running trial.
+	barrier func(now int64)
+	// mergeHeads is the barrier merge's reusable per-shard cursor slice.
+	mergeHeads []int
 }
 
 // New returns an empty network with the given configuration.
@@ -122,9 +184,20 @@ func New(cfg Config) *Network {
 	if cfg.MaxLatency < cfg.MinLatency {
 		cfg.MaxLatency = cfg.MinLatency
 	}
+	if cfg.Shards < 0 {
+		cfg.Shards = 0
+	}
 	n := &Network{
 		cfg: cfg,
 		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.Shards > 1 {
+		n.shards = make([]shardState, cfg.Shards)
+		for i := range n.shards {
+			n.shards[i].queue.init(queueBuckets(cfg))
+		}
+		n.coord.init(queueBuckets(cfg))
+		return n
 	}
 	n.queue.init(queueBuckets(cfg))
 	return n
@@ -154,16 +227,36 @@ func queueBuckets(cfg Config) int {
 // Now returns the current virtual time.
 func (n *Network) Now() int64 { return n.now }
 
-// Stats returns a snapshot of the traffic counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns a snapshot of the traffic counters. In sharded mode the
+// per-shard counters are summed in — integer sums, so the totals are
+// independent of which shard accounted each message.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	for i := range n.shards {
+		sh := &n.shards[i].stats
+		s.Sent += sh.Sent
+		s.Dropped += sh.Dropped
+		s.Delivered += sh.Delivered
+		s.DeadDest += sh.DeadDest
+		s.WireUnits += sh.WireUnits
+	}
+	return s
+}
 
 // AddNode allocates a new live node and returns its address.
 func (n *Network) AddNode() peer.Addr {
 	addr := peer.Addr(len(n.nodes))
-	n.nodes = append(n.nodes, nodeState{
+	st := nodeState{
 		alive: true,
 		rng:   rand.New(rand.NewSource(n.rng.Int63())),
-	})
+	}
+	if len(n.shards) > 0 {
+		// Home shard and wire stream are pure functions of (seed, addr):
+		// deterministic, and the wire stream is shard-count independent.
+		st.shard = int32(splitmix64(uint64(n.cfg.Seed)^uint64(addr)*0x9e3779b97f4a7c15) % uint64(len(n.shards)))
+		st.wire = newWireRNG(uint64(n.cfg.Seed), uint64(addr))
+	}
+	n.nodes = append(n.nodes, st)
 	return addr
 }
 
@@ -188,7 +281,7 @@ func (n *Network) Kill(addr peer.Addr) {
 // zero installs a purely reactive protocol (Handle only, after Init).
 //
 // The binding lands in the node's pid-sorted binding slice. The slice may
-// move when a later Attach appends to it, so the scheduled Init closure
+// move when a later Attach appends to it, so the scheduled evInit event
 // re-resolves the binding by (addr, pid) at fire time instead of capturing
 // a pointer into it.
 func (n *Network) Attach(addr peer.Addr, pid ProtoID, p Protocol, period, startOffset int64) error {
@@ -208,21 +301,10 @@ func (n *Network) Attach(addr peer.Addr, pid ProtoID, p Protocol, period, startO
 	for i := len(st.bindings) - 1; i > 0 && st.bindings[i].pid < st.bindings[i-1].pid; i-- {
 		st.bindings[i], st.bindings[i-1] = st.bindings[i-1], st.bindings[i]
 	}
-	start := n.now + startOffset
-	n.push(event{time: start, kind: evFunc, fn: func() {
-		st := &n.nodes[addr]
-		if !st.alive {
-			return
-		}
-		b := st.find(pid)
-		if b == nil {
-			return
-		}
-		b.proto.Init(&b.ctx)
-		if b.period > 0 {
-			n.push(event{time: start + b.period, kind: evTick, to: addr, pid: pid})
-		}
-	}})
+	if period > 0 && (n.minPeriod == 0 || period < n.minPeriod) {
+		n.minPeriod = period
+	}
+	n.push(event{time: n.now + startOffset, kind: evInit, to: addr, pid: pid})
 	return nil
 }
 
@@ -261,7 +343,17 @@ func (n *Network) Partition(groups ...[]peer.Addr) {
 
 // Send transmits msg from one node to another, applying the latency and
 // drop models. It is normally called through a Context.
+//
+// In sharded mode, sends issued while a window is executing draw their
+// drop and latency decisions from the sender's wire RNG and are accounted
+// to the sender's shard; a send in a parallel window additionally buffers
+// the message until the window barrier instead of pushing it directly.
+// The link-fault predicate, if any, must be safe for concurrent calls.
 func (n *Network) Send(from, to peer.Addr, pid ProtoID, msg Message) {
+	if len(n.shards) > 0 && n.mode != modeIdle {
+		n.sendSharded(from, to, pid, msg)
+		return
+	}
 	n.stats.Sent++
 	if s, ok := msg.(Sizer); ok {
 		n.stats.WireUnits += int64(s.WireSize())
@@ -286,6 +378,9 @@ func (n *Network) Send(from, to peer.Addr, pid ProtoID, msg Message) {
 // Run processes events until virtual time reaches until (inclusive) or the
 // queue drains. It returns the number of events processed.
 func (n *Network) Run(until int64) int {
+	if len(n.shards) > 0 {
+		return n.runSharded(until)
+	}
 	processed := 0
 	for n.queue.len() > 0 && n.queue.peekTime() <= until {
 		e := n.queue.pop()
@@ -319,6 +414,19 @@ func (n *Network) dispatch(e event) {
 	switch e.kind {
 	case evFunc:
 		e.fn()
+	case evInit:
+		st := &n.nodes[e.to]
+		if !st.alive {
+			return
+		}
+		b := st.find(e.pid)
+		if b == nil {
+			return
+		}
+		b.proto.Init(&b.ctx)
+		if b.period > 0 {
+			n.push(event{time: e.time + b.period, kind: evTick, to: e.to, pid: e.pid})
+		}
 	case evTick:
 		st := &n.nodes[e.to]
 		if !st.alive {
@@ -368,10 +476,23 @@ func (n *Network) latency() int64 {
 	return n.cfg.MinLatency + n.rng.Int63n(n.cfg.MaxLatency-n.cfg.MinLatency+1)
 }
 
+// push stamps the next global insertion sequence and enqueues the event. In
+// sharded mode it routes to the event's owner: evFunc events to the serial
+// coordinator queue, node events to their node's home-shard wheel. It must
+// not be called from inside a parallel window (workers buffer generated
+// events instead; see shardState.emit).
 func (n *Network) push(e event) {
 	e.seq = n.seq
 	n.seq++
-	n.queue.push(e)
+	if len(n.shards) == 0 {
+		n.queue.push(e)
+		return
+	}
+	if e.kind == evFunc {
+		n.coord.push(e)
+		return
+	}
+	n.shards[n.nodes[e.to].shard].queue.push(e)
 }
 
 func (n *Network) valid(addr peer.Addr) bool {
@@ -393,8 +514,15 @@ var _ proto.Context = (*Context)(nil)
 // Self returns the node's own address.
 func (c *Context) Self() peer.Addr { return c.self }
 
-// Now returns the current virtual time.
-func (c *Context) Now() int64 { return c.net.now }
+// Now returns the current virtual time: inside a parallel window, the
+// dispatching shard's local clock; otherwise the global clock.
+func (c *Context) Now() int64 {
+	n := c.net
+	if n.mode == modeParallel {
+		return n.shards[n.nodes[c.self].shard].now
+	}
+	return n.now
+}
 
 // Rand returns the node's private deterministic random source.
 func (c *Context) Rand() *rand.Rand { return c.net.nodes[c.self].rng }

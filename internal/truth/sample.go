@@ -17,6 +17,28 @@
 // variance and t̄ the sample mean of total_i; (1 − s/N) is the finite
 // population correction for sampling without replacement. The reported
 // interval is R̂ ± t_{1−α/2, s−1} · √Var(R̂).
+//
+// Stratification. Under churn the population is a mixture: a small fresh
+// minority (nodes that joined in the last cycle or two) with large missing
+// counts, and an established majority near zero. A simple random sample's
+// count of fresh nodes is itself binomial — the dominant variance term —
+// and the residual distribution is bimodal, so the t-interval undercovers.
+// When the membership marks both fresh and established nodes (Member.Fresh)
+// the estimator therefore samples the two strata separately with
+// proportional allocation and reports the combined ratio estimator
+//
+//	R̂ = Σ_h (N_h/n_h)·m_h / Σ_h (N_h/n_h)·t_h
+//
+// with the stratified linearized variance
+//
+//	Var(R̂) = (1/T̂²) · Σ_h N_h²·(1 − n_h/N_h)·s_eh²/n_h
+//
+// where s_eh² is the within-stratum variance of the residuals
+// e_i = missing_i − R̂·total_i (centred per stratum, since the combined R̂
+// does not zero each stratum's residual mean), and the t-interval uses
+// df = Σ_h (n_h − 1). Fixing each stratum's sample count removes the
+// binomial mixing term entirely. A stratum sampled completely is a census:
+// it contributes its exact sums and zero variance.
 package truth
 
 import (
@@ -50,6 +72,11 @@ type SampleAggregate struct {
 	// Exact is true when the requested sample covered the whole
 	// population, so the estimates are exact and the CIs zero.
 	Exact bool
+	// Strata is the number of node-age strata the estimator used: 1 on
+	// the classical single-stratum path (uniform membership, or an exact
+	// fallback), 2 when the membership contained both fresh and
+	// established nodes and the sample was stratified (see Member.Fresh).
+	Strata int
 	// LeafMissing and PrefixMissing estimate the network-wide missing
 	// proportions — the quantities MeasureAll computes exactly.
 	LeafMissing, PrefixMissing Estimate
@@ -113,7 +140,9 @@ func (s *sampleSums) measure(t *Truth, m Member, scr *measureScratch) {
 // only the sample selection; a given (rng state, members) pair yields the
 // same sample deterministically. sampleSize <= 0 or >= len(members) falls
 // back to an exact full measurement with zero-width intervals (without
-// consuming rng).
+// consuming rng). A membership containing both fresh and established nodes
+// (Member.Fresh) is sampled per age stratum and estimated with the
+// combined stratified estimator — see the package comment.
 func (t *Truth) MeasureSample(members []Member, sampleSize int, rng *rand.Rand, workers int) SampleAggregate {
 	return t.MeasureSampleConf(members, sampleSize, 0.95, rng, workers)
 }
@@ -132,6 +161,7 @@ func (t *Truth) MeasureSampleConf(members []Member, sampleSize int, confidence f
 			Population: n,
 			Confidence: confidence,
 			Exact:      true,
+			Strata:     1,
 			Sums:       agg,
 		}
 		if agg.LeafTotal > 0 {
@@ -143,6 +173,16 @@ func (t *Truth) MeasureSampleConf(members []Member, sampleSize int, confidence f
 		return sa
 	}
 
+	nFresh := 0
+	for i := range members {
+		if members[i].Fresh {
+			nFresh++
+		}
+	}
+	if nFresh > 0 && nFresh < n {
+		return t.measureStratified(members, sampleSize, confidence, nFresh, rng, workers)
+	}
+
 	idx := sampleIndices(rng, n, sampleSize)
 	sums := measureIndices(t, members, idx, workers)
 	tq := tQuantile(confidence, sampleSize-1)
@@ -150,12 +190,184 @@ func (t *Truth) MeasureSampleConf(members []Member, sampleSize int, confidence f
 		SampleSize: sampleSize,
 		Population: n,
 		Confidence: confidence,
+		Strata:     1,
 		LeafMissing: ratioEstimate(int64(sums.agg.LeafMissing), int64(sums.agg.LeafTotal),
 			sums.leafMM, sums.leafMT, sums.leafTT, sampleSize, n, tq),
 		PrefixMissing: ratioEstimate(int64(sums.agg.PrefixMissing), int64(sums.agg.PrefixTotal),
 			sums.prefixMM, sums.prefixMT, sums.prefixTT, sampleSize, n, tq),
 		Sums: sums.agg,
 	}
+}
+
+// stratum is one age stratum's measured sample: its integer sums, how many
+// nodes were measured, and how many the stratum holds in the population.
+type stratum struct {
+	sums sampleSums
+	n, N int
+}
+
+// measureStratified draws and measures the fresh and established strata
+// separately (proportional allocation with a per-stratum floor, census
+// when the allocation covers a stratum) and combines them with the
+// stratified ratio estimator described in the package comment. The fresh
+// stratum draws from rng first, then the established one, so the result is
+// a deterministic function of (rng state, members) like the classical path;
+// a census stratum consumes no rng at all, mirroring the exact fallback.
+func (t *Truth) measureStratified(members []Member, sampleSize int, confidence float64, nFresh int, rng *rand.Rand, workers int) SampleAggregate {
+	n := len(members)
+	freshIdx := make([]int, 0, nFresh)
+	estIdx := make([]int, 0, n-nFresh)
+	for i := range members {
+		if members[i].Fresh {
+			freshIdx = append(freshIdx, i)
+		} else {
+			estIdx = append(estIdx, i)
+		}
+	}
+	sFresh, sEst := allocateStrata(sampleSize, len(freshIdx), len(estIdx))
+	strata := [2]stratum{
+		t.measureStratum(members, freshIdx, sFresh, rng, workers),
+		t.measureStratum(members, estIdx, sEst, rng, workers),
+	}
+	measured := strata[0].n + strata[1].n
+	df := 0
+	for _, st := range strata {
+		if st.n < st.N && st.n >= 2 {
+			df += st.n - 1
+		}
+	}
+	tq := tQuantile(confidence, df)
+	sa := SampleAggregate{
+		SampleSize: measured,
+		Population: n,
+		Confidence: confidence,
+		Strata:     2,
+		LeafMissing: combinedRatioEstimate([2]metricSums{
+			strata[0].metric(leafMetric), strata[1].metric(leafMetric)}, tq),
+		PrefixMissing: combinedRatioEstimate([2]metricSums{
+			strata[0].metric(prefixMetric), strata[1].metric(prefixMetric)}, tq),
+	}
+	var both sampleSums
+	both.add(strata[0].sums)
+	both.add(strata[1].sums)
+	sa.Sums = both.agg
+	return sa
+}
+
+// measureStratum samples s of the stratum's indices (all of them when
+// s >= len(idx): a census, drawing nothing from rng) and measures them.
+func (t *Truth) measureStratum(members []Member, idx []int, s int, rng *rand.Rand, workers int) stratum {
+	picked := idx
+	if s < len(idx) {
+		pos := sampleIndices(rng, len(idx), s)
+		picked = make([]int, len(pos))
+		for i, p := range pos {
+			picked[i] = idx[p]
+		}
+	}
+	return stratum{
+		sums: measureIndices(t, members, picked, workers),
+		n:    len(picked),
+		N:    len(idx),
+	}
+}
+
+// stratumFloor is the smallest sample a stratum is given (when it holds
+// that many nodes): a within-stratum variance estimated from fewer than ~8
+// residuals is noisy enough to destabilise the interval width, and the
+// budget cost of the floor is negligible for the stratum sizes the harness
+// produces.
+const stratumFloor = 8
+
+// allocateStrata splits the requested sample size proportionally across
+// the two strata, then clamps so each stratum measures at least
+// stratumFloor nodes, or all of them when it holds fewer. The point of
+// stratifying is that neither stratum's count is left to chance;
+// proportional allocation keeps the established stratum's sample large,
+// which matters because under continuous churn the established majority
+// carries its own missing-entry tail (dead entries left by departed
+// neighbours), not just the fresh minority. The clamped total may differ
+// slightly from the request; the caller reports the actual size.
+func allocateStrata(sampleSize, nFresh, nEst int) (sFresh, sEst int) {
+	sFresh = int(math.Round(float64(sampleSize) * float64(nFresh) / float64(nFresh+nEst)))
+	if sFresh < stratumFloor {
+		sFresh = stratumFloor
+	}
+	if sFresh > nFresh {
+		sFresh = nFresh
+	}
+	sEst = sampleSize - sFresh
+	if sEst < stratumFloor {
+		sEst = stratumFloor
+	}
+	if sEst > nEst {
+		sEst = nEst
+	}
+	return sFresh, sEst
+}
+
+// metricSums is one metric's slice of a stratum: the per-metric integer
+// sums plus the stratum's sample and population counts.
+type metricSums struct {
+	m, t, mm, mt, tt int64
+	n, N             int
+}
+
+const (
+	leafMetric = iota
+	prefixMetric
+)
+
+func (st stratum) metric(which int) metricSums {
+	s := &st.sums
+	ms := metricSums{n: st.n, N: st.N}
+	if which == leafMetric {
+		ms.m, ms.t = int64(s.agg.LeafMissing), int64(s.agg.LeafTotal)
+		ms.mm, ms.mt, ms.tt = s.leafMM, s.leafMT, s.leafTT
+	} else {
+		ms.m, ms.t = int64(s.agg.PrefixMissing), int64(s.agg.PrefixTotal)
+		ms.mm, ms.mt, ms.tt = s.prefixMM, s.prefixMT, s.prefixTT
+	}
+	return ms
+}
+
+// combinedRatioEstimate finalizes one metric's stratified ratio estimate.
+// With a single stratum covering the population it reduces exactly to
+// ratioEstimate (the weights cancel); see the package comment for the
+// formulas.
+func combinedRatioEstimate(strata [2]metricSums, tq float64) Estimate {
+	var mHat, tHat float64
+	for _, st := range strata {
+		if st.n == 0 {
+			continue
+		}
+		w := float64(st.N) / float64(st.n)
+		mHat += w * float64(st.m)
+		tHat += w * float64(st.t)
+	}
+	if tHat <= 0 {
+		return Estimate{}
+	}
+	r := mHat / tHat
+	var v float64
+	for _, st := range strata {
+		if st.n < 2 || st.n >= st.N {
+			// Degenerate or census stratum: no sampling variance.
+			continue
+		}
+		// Within-stratum residual variance around the combined ratio,
+		// centred because Σe_h ≠ 0 under the combined R̂.
+		sumE := float64(st.m) - r*float64(st.t)
+		sumE2 := float64(st.mm) - 2*r*float64(st.mt) + r*r*float64(st.tt)
+		ss := sumE2 - sumE*sumE/float64(st.n)
+		if ss < 0 {
+			ss = 0
+		}
+		s2 := ss / float64(st.n-1)
+		fpc := 1 - float64(st.n)/float64(st.N)
+		v += float64(st.N) * float64(st.N) * fpc * s2 / float64(st.n)
+	}
+	return Estimate{Mean: r, CI: tq * math.Sqrt(v) / tHat}
 }
 
 // measureIndices measures the members at the given (sorted) indices,

@@ -121,6 +121,116 @@ func TestMeasureSampleEstimatesNearExact(t *testing.T) {
 	}
 }
 
+// markFresh returns a copy of members with every index in fresh marked.
+func markFresh(members []Member, fresh ...int) []Member {
+	out := append([]Member(nil), members...)
+	for _, i := range fresh {
+		out[i].Fresh = true
+	}
+	return out
+}
+
+// TestMeasureStratifiedEngagement pins when the stratified path runs: only
+// a true sample over a membership holding both fresh and established nodes.
+func TestMeasureStratifiedEngagement(t *testing.T) {
+	tr, members := sampleWorld(t, 512)
+	rng := func() *rand.Rand { return rand.New(rand.NewSource(4)) }
+
+	if sa := tr.MeasureSample(members, 64, rng(), 2); sa.Strata != 1 {
+		t.Fatalf("uniform membership: Strata = %d, want 1", sa.Strata)
+	}
+	allFresh := markFresh(members)
+	for i := range allFresh {
+		allFresh[i].Fresh = true
+	}
+	if sa := tr.MeasureSample(allFresh, 64, rng(), 2); sa.Strata != 1 {
+		t.Fatalf("all-fresh membership: Strata = %d, want 1", sa.Strata)
+	}
+	mixed := markFresh(members, 3, 17, 101, 200, 499)
+	sa := tr.MeasureSample(mixed, 64, rng(), 2)
+	if sa.Strata != 2 {
+		t.Fatalf("mixed membership: Strata = %d, want 2", sa.Strata)
+	}
+	if sa.Exact || sa.SampleSize != 64 || sa.Population != 512 {
+		t.Fatalf("stratified aggregate malformed: %+v", sa)
+	}
+	// Exact fallback ignores the marks.
+	if sa := tr.MeasureSample(mixed, 0, rng(), 2); !sa.Exact || sa.Strata != 1 {
+		t.Fatalf("exact fallback: %+v", sa)
+	}
+}
+
+// TestMeasureStratifiedInvariance extends the bit-identity contracts to the
+// stratified path: identical results for every worker count and for every
+// rng with the same seed, different results for different seeds.
+func TestMeasureStratifiedInvariance(t *testing.T) {
+	tr, members := sampleWorld(t, 1024)
+	fresh := make([]int, 0, 60)
+	for i := 0; i < 60; i++ {
+		fresh = append(fresh, i*17)
+	}
+	mixed := markFresh(members, fresh...)
+	var ref SampleAggregate
+	for i, workers := range []int{1, 2, 3, 4, 7} {
+		sa := tr.MeasureSample(mixed, 200, rand.New(rand.NewSource(42)), workers)
+		if i == 0 {
+			ref = sa
+			continue
+		}
+		if sa != ref {
+			t.Fatalf("workers=%d diverged: %+v != %+v", workers, sa, ref)
+		}
+	}
+	if ref.Strata != 2 {
+		t.Fatalf("Strata = %d, want 2", ref.Strata)
+	}
+	if other := tr.MeasureSample(mixed, 200, rand.New(rand.NewSource(43)), 2); other == ref {
+		t.Fatal("different seeds produced identical stratified samples (suspicious)")
+	}
+}
+
+// TestMeasureStratifiedCensusStratum: a fresh stratum smaller than its
+// minimum allocation is measured completely; with the established stratum
+// also censused (sample size n-1 forces both allocations to their caps) the
+// estimate must equal the exact ratio with zero interval width.
+func TestMeasureStratifiedCensusStratum(t *testing.T) {
+	tr, members := sampleWorld(t, 256)
+	mixed := markFresh(members, 7)
+	exact := tr.MeasureAll(members, 2)
+	sa := tr.MeasureSample(mixed, 255, rand.New(rand.NewSource(8)), 2)
+	if sa.Strata != 2 {
+		t.Fatalf("Strata = %d, want 2", sa.Strata)
+	}
+	// sFresh clamps to the census of its single node; sEst to 254 of 255.
+	if sa.SampleSize != 255 {
+		t.Fatalf("SampleSize = %d, want 255", sa.SampleSize)
+	}
+	wantLeaf := float64(exact.LeafMissing) / float64(exact.LeafTotal)
+	if d := math.Abs(sa.LeafMissing.Mean - wantLeaf); d > 0.05 {
+		t.Errorf("near-census leaf mean %v far from exact %v", sa.LeafMissing.Mean, wantLeaf)
+	}
+}
+
+func TestAllocateStrata(t *testing.T) {
+	cases := []struct {
+		s, nF, nE    int
+		wantF, wantE int
+	}{
+		{128, 40, 4056, 8, 120},   // proportional rounds to 1, floored to 8
+		{128, 2048, 2048, 64, 64}, // even split
+		{10, 3, 997, 3, 8},        // fresh smaller than the floor: census it
+		{10, 1, 999, 1, 9},        // single fresh node: census it
+		{100, 4, 5, 4, 5},         // sample bigger than both strata: census both
+	}
+	for _, tc := range cases {
+		gotF, gotE := allocateStrata(tc.s, tc.nF, tc.nE)
+		if gotF != tc.wantF || gotE != tc.wantE {
+			t.Errorf("allocateStrata(%d, %d, %d) = (%d, %d), want (%d, %d)",
+				tc.s, tc.nF, tc.nE, gotF, gotE, tc.wantF, tc.wantE)
+		}
+	}
+}
+
 // TestSampleIndicesUniform draws many small samples and checks every index
 // is hit at the expected rate — Floyd's algorithm done right is exactly
 // uniform without replacement.

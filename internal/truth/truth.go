@@ -530,6 +530,13 @@ type Member struct {
 	Self  id.ID
 	Leaf  *core.LeafSet
 	Table *core.PrefixTable
+	// Fresh marks a node that joined recently (the harness decides the
+	// cutoff — typically within the last two cycles). MeasureAll ignores
+	// it; the sampled estimator stratifies on it, because under churn the
+	// fresh minority carries missing-entry counts orders of magnitude
+	// above the established majority and a simple random sample's
+	// interval undercovers badly on that mixture (see sample.go).
+	Fresh bool
 }
 
 // Aggregate is the network-wide sum of per-node measurements: raw integer
