@@ -68,14 +68,22 @@ func run() error {
 
 	rng := rand.New(rand.NewSource(44))
 	keys := make([]id.ID, numKeys)
+	degraded := 0
+	var st dht.OpStats
 	for i := range keys {
 		keys[i] = id.ID(rng.Uint64())
 		val := []byte(fmt.Sprintf("value-%d", i))
-		if _, err := cluster.Put(descs[rng.Intn(numNodes)].Addr, keys[i], val); err != nil {
+		if err := cluster.PutStats(descs[rng.Intn(numNodes)].Addr, keys[i], val, &st); err != nil {
 			return fmt.Errorf("put key %d: %w", i, err)
 		}
+		if st.Stored < st.Want {
+			degraded++
+		}
 	}
-	fmt.Printf("stored %d keys with replication %d\n", numKeys, replicas)
+	fmt.Printf("stored %d keys with replication %d (%d degraded)\n", numKeys, replicas, degraded)
+	if degraded > 0 {
+		return fmt.Errorf("%d keys stored below the replication target on a healthy cluster", degraded)
+	}
 
 	// 3. Crash 10% of the nodes and measure availability.
 	crashed := make(map[peer.Addr]bool, numNodes/10)

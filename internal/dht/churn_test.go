@@ -1,0 +1,184 @@
+package dht
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/id"
+	"repro/internal/peer"
+)
+
+// TestReplicaMigrationUnderChurn: under sequential churn far deeper than
+// the replication factor, every key must stay readable — departures
+// re-replicate the victim neighbourhood's keys, so copies heal instead of
+// eroding until all three original replicas happen to die.
+func TestReplicaMigrationUnderChurn(t *testing.T) {
+	const n = 256
+	const nkeys = 200
+	c, descs := perfectCluster(t, n, 3, 41)
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]id.ID, nkeys)
+	for i := range keys {
+		keys[i] = id.ID(rng.Uint64())
+		if _, err := c.Put(descs[rng.Intn(n)].Addr, keys[i], []byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	// Kill 30% of the cluster, one node at a time (each departure is
+	// repaired before the next — the steady-churn regime).
+	alive := make([]peer.Addr, n)
+	for i, d := range descs {
+		alive[i] = d.Addr
+	}
+	for k := 0; k < n*30/100; k++ {
+		vi := rng.Intn(len(alive))
+		c.Remove(alive[vi])
+		alive[vi] = alive[len(alive)-1]
+		alive = alive[:len(alive)-1]
+	}
+	if c.Len() != len(alive) {
+		t.Fatalf("live = %d, want %d", c.Len(), len(alive))
+	}
+	for i, key := range keys {
+		from := alive[rng.Intn(len(alive))]
+		got, err := c.Get(from, key)
+		if err != nil {
+			t.Fatalf("key %d unreadable after churn: %v", i, err)
+		}
+		if len(got) != 2 || got[0] != byte(i) || got[1] != byte(i>>8) {
+			t.Fatalf("key %d corrupted after churn: %v", i, got)
+		}
+	}
+}
+
+// TestDegradedReplicationSurfaced: when a partition hides most of the
+// cluster from the writer, the write succeeds on the reachable side but
+// reports Stored < Want — the under-replication signal the load plane
+// counts (the old API returned fewer addresses silently).
+func TestDegradedReplicationSurfaced(t *testing.T) {
+	const n = 64
+	const small = 3 // nodes on the writer's side of the cut
+	c, descs := perfectCluster(t, n, 5, 43)
+	side := func(a peer.Addr) bool { return int(a) < small }
+	c.SetPartition(func(a, b peer.Addr) bool { return side(a) != side(b) })
+
+	var st OpStats
+	err := c.PutStats(descs[0].Addr, id.ID(0x5EED), []byte("v"), &st)
+	if err != nil {
+		t.Fatalf("degraded put failed outright: %v", err)
+	}
+	if st.Want != 5 {
+		t.Fatalf("Want = %d, want 5 (replication target unclamped by the cut)", st.Want)
+	}
+	if st.Stored >= st.Want {
+		t.Fatalf("Stored = %d, Want = %d: degraded write not surfaced", st.Stored, st.Want)
+	}
+	if st.Stored < 1 || st.Stored > small {
+		t.Fatalf("Stored = %d, want within [1, %d] (only the writer's side is reachable)", st.Stored, small)
+	}
+
+	// The same write through the compat API still succeeds with the short
+	// address list (old behaviour, now measurable through PutStats).
+	addrs, err := c.Put(descs[0].Addr, id.ID(0x5EED), []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != st.Stored {
+		t.Fatalf("Put stored %d, PutStats reported %d", len(addrs), st.Stored)
+	}
+}
+
+// TestPartitionIsolation: a write made under a partition is visible on
+// the writer's side and invisible across the cut.
+func TestPartitionIsolation(t *testing.T) {
+	const n = 64
+	c, descs := perfectCluster(t, n, 3, 44)
+	side := func(a peer.Addr) bool { return int(a) < n/2 }
+	c.SetPartition(func(a, b peer.Addr) bool { return side(a) != side(b) })
+
+	key := id.ID(0xCAFE)
+	if _, err := c.Put(descs[0].Addr, key, []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(descs[1].Addr, key); err != nil {
+		t.Fatalf("same-side read failed: %v", err)
+	}
+	if _, err := c.Get(descs[n-1].Addr, key); err == nil {
+		t.Fatal("cross-cut read saw the write")
+	} else if !errors.Is(err, ErrNotFound) && !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("cross-cut read: unexpected error %v", err)
+	}
+	c.SetPartition(nil)
+	if _, err := c.Get(descs[1].Addr, key); err != nil {
+		t.Fatalf("read after healing failed: %v", err)
+	}
+}
+
+// TestConcurrentOpsDuringChurn: routing reads immutable snapshots, so
+// gets and puts racing with Remove must stay memory-safe and never return
+// corrupt data (run under -race in CI's load job).
+func TestConcurrentOpsDuringChurn(t *testing.T) {
+	const n = 256
+	const nkeys = 64
+	c, descs := perfectCluster(t, n, 3, 45)
+	rng := rand.New(rand.NewSource(46))
+	keys := make([]id.ID, nkeys)
+	val := []byte("steady")
+	for i := range keys {
+		keys[i] = id.ID(rng.Uint64())
+		if _, err := c.Put(descs[rng.Intn(n)].Addr, keys[i], val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Victims are the top addresses; workers originate from the bottom
+	// half, which survives.
+	victims := make([]peer.Addr, n/4)
+	for i := range victims {
+		victims[i] = descs[n-1-i].Addr
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, v := range victims {
+			c.Remove(v)
+		}
+	}()
+	workers := 4
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			scratch := make([]byte, 0, 16)
+			var st OpStats
+			for i := 0; i < 2000; i++ {
+				from := descs[rng.Intn(n/2)].Addr
+				key := keys[rng.Intn(nkeys)]
+				if i%5 == 0 {
+					if err := c.PutStats(from, key, val, &st); err != nil {
+						errc <- err
+						return
+					}
+					continue
+				}
+				out, err := c.GetStats(scratch[:0], from, key, &st)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if string(out) != "steady" {
+					errc <- errors.New("corrupt read under churn: " + string(out))
+					return
+				}
+				scratch = out[:0]
+			}
+			errc <- nil
+		}(int64(47 + w))
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+}

@@ -4,12 +4,29 @@
 // (PAST-style: a key's root is the ring-closest node, replicas go to the
 // root's nearest ring neighbours, so responsibility migrates to a replica
 // automatically when the root departs).
+//
+// The serving hot path is built for concurrent load generation:
+//
+//   - routing reads immutable pastry.Snapshot values through per-node
+//     atomic pointers (PR 4 copy-on-write discipline), so any number of
+//     workers route lock-free while Remove repairs routers;
+//   - departed nodes are not scrubbed from every router eagerly; routes
+//     step around them through the cluster's Reachable filter, and only
+//     the victim's leaf neighbourhood is repaired and re-replicated
+//     (O(changes) per departure instead of the former full
+//     pastry.NewMesh rebuild);
+//   - values live in per-node arenas (see valueStore) and GetStats
+//     appends into caller-owned scratch, so the Get fast path runs at
+//     0 allocs/op (alloc-guarded in bench_test.go).
 package dht
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/flat"
 	"repro/internal/id"
 	"repro/internal/overlay/pastry"
 	"repro/internal/peer"
@@ -18,48 +35,167 @@ import (
 // DefaultReplicas is the replication factor used when none is given.
 const DefaultReplicas = 3
 
-// Node is one DHT participant: a router plus local storage.
+// MaxReplicas bounds the replication factor; NewCluster clamps to it. The
+// replica set can never exceed the root's leaf neighbourhood anyway, and
+// the bound lets op-path dedup scratch live on the stack.
+const MaxReplicas = 64
+
+// maxRouteHops bounds one routed operation; prefix routing resolves in
+// O(log N) hops, so hitting this means the overlay is broken, not slow.
+const maxRouteHops = 128
+
+// Node is one DHT participant: a router, its published routing snapshot,
+// and local storage.
 type Node struct {
 	router *pastry.Router
-	data   map[id.ID][]byte
+	// snap is the immutable routing state ops read. It is republished
+	// (under the cluster's repair lock) whenever the router changes.
+	snap atomic.Pointer[pastry.Snapshot]
+	// mu serialises access to store; routing never takes it.
+	mu    sync.Mutex
+	store valueStore
 }
 
 // NewNode wraps a router with an empty store.
 func NewNode(r *pastry.Router) *Node {
-	return &Node{router: r, data: make(map[id.ID][]byte)}
+	n := &Node{router: r}
+	n.snap.Store(r.Snapshot())
+	return n
 }
 
 // Addr returns the node's address.
 func (n *Node) Addr() peer.Addr { return n.router.Self().Addr }
 
 // Keys returns the number of keys stored locally.
-func (n *Node) Keys() int { return len(n.data) }
+func (n *Node) Keys() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.store.keys()
+}
+
+// StoreBytes returns the size of the node's value arena (diagnostics).
+func (n *Node) StoreBytes() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.store.bytes()
+}
+
+// Partition is an optional reachability cut: it reports true when a and b
+// are on opposite sides and must not exchange messages. It must be safe
+// for concurrent use and cheap — it runs on every routing candidate.
+type Partition func(a, b peer.Addr) bool
 
 // Cluster evaluates DHT operations over a population of nodes, simulating
 // the message flow synchronously (route to root, then replicate to the
-// root's ring neighbourhood).
+// root's ring neighbourhood). Put/Get/GetStats/PutStats are safe for
+// concurrent use with each other and with Remove.
 type Cluster struct {
-	nodes    map[peer.Addr]*Node
-	mesh     *pastry.Mesh
 	replicas int
+	nodes    []*Node
+	// byAddr maps peer.Addr (widened to id.ID) to the node's slot index;
+	// open-addressed so the per-hop lookup is a probe over flat arrays.
+	byAddr *flat.Table[int32]
+	alive  []atomic.Bool
+	// aliveByAddr is a dense addr-indexed mirror of alive, built when the
+	// address space is compact (the usual case): liveness checks on the
+	// routing hot path become one array load instead of a hash probe.
+	aliveByAddr []atomic.Bool
+	live        atomic.Int32
+	part        atomic.Pointer[Partition]
+	// filtered stays false until the first departure or partition; while
+	// it is false every node is reachable and ops route with a nil filter,
+	// skipping the per-candidate liveness calls entirely.
+	filtered atomic.Bool
+	// reach is the single Reachable closure every op shares — built once
+	// so the hot path never allocates a capture.
+	reach    pastry.Reachable
+	repairMu sync.Mutex
 }
 
-// NewCluster builds a cluster; replicas <= 0 selects DefaultReplicas.
+// NewCluster builds a cluster; replicas <= 0 selects DefaultReplicas and
+// values above MaxReplicas are clamped.
 func NewCluster(nodes []*Node, replicas int) *Cluster {
 	if replicas <= 0 {
 		replicas = DefaultReplicas
 	}
-	routers := make([]*pastry.Router, len(nodes))
-	byAddr := make(map[peer.Addr]*Node, len(nodes))
-	for i, n := range nodes {
-		routers[i] = n.router
-		byAddr[n.Addr()] = n
+	if replicas > MaxReplicas {
+		replicas = MaxReplicas
 	}
-	return &Cluster{
-		nodes:    byAddr,
-		mesh:     pastry.NewMesh(routers, 0),
+	c := &Cluster{
 		replicas: replicas,
+		nodes:    nodes,
+		byAddr:   flat.NewTable[int32](len(nodes)),
+		alive:    make([]atomic.Bool, len(nodes)),
 	}
+	maxAddr := peer.Addr(-1)
+	for i, n := range nodes {
+		c.byAddr.Put(addrKey(n.Addr()), int32(i))
+		c.alive[i].Store(true)
+		if a := n.Addr(); a > maxAddr {
+			maxAddr = a
+		}
+	}
+	c.live.Store(int32(len(nodes)))
+	if int(maxAddr)+1 <= 4*len(nodes)+64 {
+		c.aliveByAddr = make([]atomic.Bool, int(maxAddr)+1)
+		for _, n := range nodes {
+			c.aliveByAddr[n.Addr()].Store(true)
+		}
+		c.reach = func(from, to peer.Addr) bool {
+			if to < 0 || int(to) >= len(c.aliveByAddr) || !c.aliveByAddr[to].Load() {
+				return false
+			}
+			if p := c.part.Load(); p != nil && (*p)(from, to) {
+				return false
+			}
+			return true
+		}
+		return c
+	}
+	c.reach = func(from, to peer.Addr) bool {
+		slot, ok := c.slotOf(to)
+		if !ok || !c.alive[slot].Load() {
+			return false
+		}
+		if p := c.part.Load(); p != nil && (*p)(from, to) {
+			return false
+		}
+		return true
+	}
+	return c
+}
+
+// filter returns the Reachable the current op should route with: nil
+// while the cluster is clean (everything reachable — the fast path), the
+// shared closure once any departure or partition makes filtering real.
+func (c *Cluster) filter() pastry.Reachable {
+	if c.filtered.Load() {
+		return c.reach
+	}
+	return nil
+}
+
+// isAlive reports whether the address belongs to a live node.
+func (c *Cluster) isAlive(a peer.Addr) bool {
+	if c.aliveByAddr != nil {
+		return a >= 0 && int(a) < len(c.aliveByAddr) && c.aliveByAddr[a].Load()
+	}
+	slot, ok := c.slotOf(a)
+	return ok && c.alive[slot].Load()
+}
+
+// SetPartition installs (or, with nil, clears) a reachability cut that
+// every subsequent operation honours: routing, replica placement, and
+// replica reads all stay on the originating side.
+func (c *Cluster) SetPartition(p Partition) {
+	if p == nil {
+		c.part.Store(nil)
+		return
+	}
+	// Publish the filtered flag before the cut so no op can observe the
+	// partition without also routing through the filter.
+	c.filtered.Store(true)
+	c.part.Store(&p)
 }
 
 // Errors returned by cluster operations.
@@ -68,107 +204,357 @@ var (
 	ErrNoRoute  = errors.New("dht: routing failed")
 )
 
+// OpStats reports per-operation detail the load plane records. Fields are
+// only written, never read, by the cluster — callers may reuse one struct
+// across calls.
+type OpStats struct {
+	// Hops is the number of routed hops from the origin to the key root.
+	Hops int
+	// Stored is the number of replicas that accepted a Put.
+	Stored int
+	// Want is the replication target at op time: the configured factor
+	// clamped to the live population. Stored < Want means the write is
+	// under-replicated (short leaf sets post-churn, or a partition hid
+	// part of the neighbourhood) — the degraded-replication signal the
+	// load plane counts.
+	Want int
+}
+
+// addrKey widens an address into the flat table's key domain.
+func addrKey(a peer.Addr) id.ID { return id.ID(uint64(uint32(a))) }
+
+// slotOf resolves an address to its node slot.
+func (c *Cluster) slotOf(addr peer.Addr) (int32, bool) {
+	if addr < 0 {
+		return 0, false
+	}
+	return c.byAddr.Get(addrKey(addr))
+}
+
+// route walks the key from the origin to its live root, returning the
+// root's slot and the hop count. Zero-alloc: every step reads an
+// immutable snapshot through an atomic pointer.
+func (c *Cluster) route(from peer.Addr, key id.ID) (int32, int, error) {
+	slot, ok := c.slotOf(from)
+	if !ok || !c.alive[slot].Load() {
+		return 0, 0, ErrNoRoute
+	}
+	filt := c.filter()
+	hops := 0
+	for {
+		next, done := c.nodes[slot].snap.Load().NextHopAlive(key, from, filt)
+		if done {
+			return slot, hops, nil
+		}
+		hops++
+		if hops > maxRouteHops {
+			return 0, hops, ErrNoRoute
+		}
+		ns, ok := c.slotOf(next.Addr)
+		if !ok {
+			return 0, hops, ErrNoRoute
+		}
+		slot = ns
+	}
+}
+
+// replicaCursor walks a key root's replica set — the root, then its ring
+// neighbours alternating successor/predecessor as PAST does — skipping
+// unreachable peers and deduplicating addresses (succ and pred overlap on
+// small rings). It lives on the caller's stack; no allocation.
+type replicaCursor struct {
+	c          *Cluster
+	filt       pastry.Reachable // nil while the cluster is clean
+	origin     peer.Addr
+	succ, pred []peer.Descriptor
+	rootSlot   int32
+	rootAddr   peer.Addr
+	k          int // next candidate index: even → succ[k/2], odd → pred[k/2]
+	rootDone   bool
+	nseen      int
+	seen       [MaxReplicas]peer.Addr
+}
+
+func (c *Cluster) replicaCursor(origin peer.Addr, rootSlot int32) replicaCursor {
+	snap := c.nodes[rootSlot].snap.Load()
+	succ, pred := snap.Leaf()
+	return replicaCursor{
+		c:        c,
+		filt:     c.filter(),
+		origin:   origin,
+		succ:     succ,
+		pred:     pred,
+		rootSlot: rootSlot,
+		rootAddr: snap.Self().Addr,
+	}
+}
+
+// next returns the slot of the next replica; ok is false once the set is
+// exhausted or the replication factor is met.
+func (cur *replicaCursor) next() (int32, bool) {
+	c := cur.c
+	if !cur.rootDone {
+		cur.rootDone = true
+		cur.seen[0] = cur.rootAddr
+		cur.nseen = 1
+		return cur.rootSlot, true
+	}
+	for cur.nseen < c.replicas {
+		idx := cur.k
+		cur.k++
+		var d peer.Descriptor
+		if idx%2 == 0 {
+			si := idx / 2
+			if si >= len(cur.succ) {
+				if idx/2 >= len(cur.pred) {
+					return 0, false // both directions exhausted
+				}
+				continue
+			}
+			d = cur.succ[si]
+		} else {
+			pi := idx / 2
+			if pi >= len(cur.pred) {
+				if (idx+1)/2 >= len(cur.succ) {
+					return 0, false
+				}
+				continue
+			}
+			d = cur.pred[pi]
+		}
+		if cur.filt != nil && !cur.filt(cur.origin, d.Addr) {
+			continue
+		}
+		dup := false
+		for i := 0; i < cur.nseen; i++ {
+			if cur.seen[i] == d.Addr {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		slot, ok := c.slotOf(d.Addr)
+		if !ok {
+			continue
+		}
+		cur.seen[cur.nseen] = d.Addr
+		cur.nseen++
+		return slot, true
+	}
+	return 0, false
+}
+
+// PutStats routes the key to its root and stores the value at the root
+// and its ring neighbours, recording hops and achieved replication in st.
+// Stored < Want reports a degraded write without failing it.
+func (c *Cluster) PutStats(from peer.Addr, key id.ID, value []byte, st *OpStats) error {
+	rootSlot, hops, err := c.route(from, key)
+	if err != nil {
+		return err
+	}
+	st.Hops = hops
+	want := c.replicas
+	if live := int(c.live.Load()); live < want {
+		want = live
+	}
+	st.Want = want
+	cur := c.replicaCursor(from, rootSlot)
+	stored := 0
+	for {
+		slot, ok := cur.next()
+		if !ok {
+			break
+		}
+		n := c.nodes[slot]
+		n.mu.Lock()
+		n.store.put(key, value)
+		n.mu.Unlock()
+		stored++
+	}
+	st.Stored = stored
+	return nil
+}
+
 // Put routes the key from the given node to its root and stores the value
 // at the root and at its replicas-1 closest ring neighbours. It returns
 // the addresses that stored the value.
 func (c *Cluster) Put(from peer.Addr, key id.ID, value []byte) ([]peer.Addr, error) {
-	root, err := c.root(from, key)
+	rootSlot, _, err := c.route(from, key)
 	if err != nil {
 		return nil, err
 	}
 	stored := make([]peer.Addr, 0, c.replicas)
-	for _, addr := range c.replicaSet(root) {
-		node := c.nodes[addr]
-		cp := make([]byte, len(value))
-		copy(cp, value)
-		node.data[key] = cp
-		stored = append(stored, addr)
+	cur := c.replicaCursor(from, rootSlot)
+	for {
+		slot, ok := cur.next()
+		if !ok {
+			break
+		}
+		n := c.nodes[slot]
+		n.mu.Lock()
+		n.store.put(key, value)
+		n.mu.Unlock()
+		stored = append(stored, n.Addr())
 	}
 	return stored, nil
 }
 
-// Get routes the key from the given node to its root and returns the
-// stored value, falling back to the root's replica set — which is exactly
-// where responsibility migrates when nodes near the key depart.
-func (c *Cluster) Get(from peer.Addr, key id.ID) ([]byte, error) {
-	root, err := c.root(from, key)
+// GetStats routes the key to its root and appends the first replica's
+// value to dst, recording routed hops in st. Callers that reuse dst read
+// at 0 allocs/op; on ErrNotFound/ErrNoRoute dst is returned unchanged.
+func (c *Cluster) GetStats(dst []byte, from peer.Addr, key id.ID, st *OpStats) ([]byte, error) {
+	rootSlot, hops, err := c.route(from, key)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	for _, addr := range c.replicaSet(root) {
-		if v, ok := c.nodes[addr].data[key]; ok {
-			out := make([]byte, len(v))
-			copy(out, v)
+	st.Hops = hops
+	cur := c.replicaCursor(from, rootSlot)
+	for {
+		slot, ok := cur.next()
+		if !ok {
+			break
+		}
+		n := c.nodes[slot]
+		n.mu.Lock()
+		out, found := n.store.get(key, dst)
+		n.mu.Unlock()
+		if found {
 			return out, nil
 		}
 	}
-	return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	return dst, ErrNotFound
 }
 
-// Remove drops a node from the cluster (a crash), scrubbing it from every
-// surviving router's structures — the steady-state repair that a running
-// maintenance protocol (or the bootstrap eviction extension) provides.
+// Get routes the key from the given node to its root and returns a copy
+// of the stored value, falling back to the root's replica set — which is
+// exactly where responsibility migrates when nodes near the key depart.
+func (c *Cluster) Get(from peer.Addr, key id.ID) ([]byte, error) {
+	var st OpStats
+	out, err := c.GetStats(nil, from, key, &st)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
+		return nil, err
+	}
+	if out == nil {
+		out = []byte{}
+	}
+	return out, nil
+}
+
+// Remove drops a node from the cluster (a crash). Cost is O(changes):
+// the victim is marked dead (routes step around it via the Reachable
+// filter — no global scrub), only its leaf neighbourhood repairs its
+// routing state and republishes snapshots, and that neighbourhood
+// re-replicates its keys so the replication factor heals instead of
+// eroding under cumulative churn.
 func (c *Cluster) Remove(addr peer.Addr) {
-	victim, ok := c.nodes[addr]
-	if !ok {
+	c.repairMu.Lock()
+	defer c.repairMu.Unlock()
+	slot, ok := c.slotOf(addr)
+	if !ok || !c.alive[slot].Load() {
 		return
 	}
-	delete(c.nodes, addr)
-	victimID := victim.router.Self().ID
-	routers := make([]*pastry.Router, 0, len(c.nodes))
-	for _, n := range c.nodes {
-		n.router.Forget(victimID)
-		routers = append(routers, n.router)
+	// Publish the filtered flag before the death so no op can observe the
+	// dead node without also routing through the filter.
+	c.filtered.Store(true)
+	c.alive[slot].Store(false)
+	if c.aliveByAddr != nil {
+		c.aliveByAddr[addr].Store(false)
 	}
-	c.mesh = pastry.NewMesh(routers, 0)
+	c.live.Add(-1)
+	victim := c.nodes[slot]
+	victimID := victim.router.Self().ID
+	vsnap := victim.snap.Load()
+	succ, pred := vsnap.Leaf()
+
+	// The victim's live leaf neighbourhood: the routers that listed it,
+	// the peers that inherit its key range, and the candidates they adopt
+	// to refill their own structures.
+	cand := make([]peer.Descriptor, 0, len(succ)+len(pred))
+	for _, d := range succ {
+		if s, ok := c.slotOf(d.Addr); ok && c.alive[s].Load() {
+			cand = append(cand, d)
+		}
+	}
+	for _, d := range pred {
+		if s, ok := c.slotOf(d.Addr); ok && c.alive[s].Load() {
+			cand = append(cand, d)
+		}
+	}
+	for _, d := range cand {
+		ms, _ := c.slotOf(d.Addr)
+		m := c.nodes[ms]
+		m.router.Repair(victimID, cand)
+		m.snap.Store(m.router.Snapshot())
+	}
+	c.migrate(cand)
+}
+
+// migrate re-replicates every key held in the given neighbourhood: each
+// key is re-routed to its current root and re-stored across the current
+// replica set. Work is proportional to the keys the departed node's
+// neighbourhood holds, not to the cluster or key population.
+func (c *Cluster) migrate(neighbourhood []peer.Descriptor) {
+	var keys []id.ID
+	var val []byte
+	for _, d := range neighbourhood {
+		ms, ok := c.slotOf(d.Addr)
+		if !ok {
+			continue
+		}
+		m := c.nodes[ms]
+		m.mu.Lock()
+		keys = keys[:0]
+		m.store.refs.Iter(func(k id.ID, _ valRef) bool {
+			keys = append(keys, k)
+			return true
+		})
+		m.mu.Unlock()
+		from := d.Addr
+		for _, k := range keys {
+			m.mu.Lock()
+			v, found := m.store.get(k, val[:0])
+			m.mu.Unlock()
+			if !found {
+				continue
+			}
+			val = v
+			rootSlot, _, err := c.route(from, k)
+			if err != nil {
+				continue
+			}
+			cur := c.replicaCursor(from, rootSlot)
+			for {
+				slot, ok := cur.next()
+				if !ok {
+					break
+				}
+				n := c.nodes[slot]
+				n.mu.Lock()
+				n.store.put(k, val)
+				n.mu.Unlock()
+			}
+		}
+	}
 }
 
 // Len returns the number of live nodes.
-func (c *Cluster) Len() int { return len(c.nodes) }
+func (c *Cluster) Len() int { return int(c.live.Load()) }
 
-// root resolves the key's current root node address.
-func (c *Cluster) root(from peer.Addr, key id.ID) (*Node, error) {
-	path, err := c.mesh.Route(from, key)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNoRoute, err)
-	}
-	node, ok := c.nodes[path[len(path)-1]]
-	if !ok {
-		return nil, fmt.Errorf("%w: root %d unknown", ErrNoRoute, path[len(path)-1])
-	}
-	return node, nil
-}
+// Replicas returns the configured replication factor.
+func (c *Cluster) Replicas() int { return c.replicas }
 
-// replicaSet returns the addresses responsible for keys rooted at the
-// given node: the root plus its closest ring neighbours, alternating
-// successor/predecessor as PAST does.
-func (c *Cluster) replicaSet(root *Node) []peer.Addr {
-	out := []peer.Addr{root.Addr()}
-	succ := root.router.LeafSuccessors()
-	pred := root.router.LeafPredecessors()
-	i, j := 0, 0
-	for len(out) < c.replicas {
-		progressed := false
-		if i < len(succ) {
-			if _, live := c.nodes[succ[i].Addr]; live {
-				out = append(out, succ[i].Addr)
-				progressed = true
-			}
-			i++
-		}
-		if len(out) >= c.replicas {
-			break
-		}
-		if j < len(pred) {
-			if _, live := c.nodes[pred[j].Addr]; live {
-				out = append(out, pred[j].Addr)
-				progressed = true
-			}
-			j++
-		}
-		if i >= len(succ) && j >= len(pred) && !progressed {
-			break
+// LiveAddrs appends the addresses of all live nodes to dst (slot order,
+// deterministic) and returns it.
+func (c *Cluster) LiveAddrs(dst []peer.Addr) []peer.Addr {
+	for i, n := range c.nodes {
+		if c.alive[i].Load() {
+			dst = append(dst, n.Addr())
 		}
 	}
-	return out
+	return dst
 }

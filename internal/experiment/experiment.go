@@ -121,8 +121,9 @@ type Params struct {
 	// alone: the runner re-checks with one exact MeasureAll over the full
 	// population and only declares convergence when that confirms, so an
 	// optimistic sample costs one full measurement instead of ending the
-	// run early. The reported per-cycle Point is still the sampled
-	// estimate either way.
+	// run early. When the confirmation refutes the sample, the exact
+	// measurement replaces it as that cycle's reported Point (recognisable
+	// by SampleSize == 0); confirmed cycles keep the sampled estimate.
 	MeasureSample int
 	// MeasureConfidence is the two-sided confidence level of the sampled
 	// estimator's intervals; 0 selects 0.95. Ignored for full
@@ -367,16 +368,24 @@ func (r *runner) run() (*Result, error) {
 		}
 		r.net.Run(start + int64(cycle+1)*delta)
 		pt := r.measure(cycle)
-		res.Points = append(res.Points, pt)
 		joinPending := p.Join.Count > 0 && cycle < p.Join.Cycle
 		perfect := pt.LeafMissing == 0 && pt.PrefixMissing == 0 && !joinPending
 		if perfect && pt.SampleSize > 0 {
 			// An all-perfect sample is only evidence, not proof: a small
 			// sample can miss every imperfect node. Confirm with one exact
 			// measurement before the run is allowed to stop (or stamp
-			// ConvergedAt). The reported point stays the sampled estimate.
-			perfect = r.confirmPerfect()
+			// ConvergedAt). When the exact measurement disagrees it
+			// supersedes the sample as the reported point (SampleSize == 0
+			// marks it exact): the full measurement is already paid for,
+			// and an optimistic estimate the run itself refuted would
+			// misreport the convergence tail.
+			var agg truth.Aggregate
+			agg, perfect = r.confirmPerfect()
+			if !perfect {
+				pt = pointFromAggregate(cycle, agg, pt.Alive, pt.Sent, pt.Dropped, pt.WireUnits)
+			}
 		}
+		res.Points = append(res.Points, pt)
 		if perfect {
 			if res.ConvergedAt < 0 {
 				res.ConvergedAt = cycle
@@ -399,10 +408,12 @@ func (r *runner) run() (*Result, error) {
 
 // confirmPerfect re-checks an all-perfect sampled measurement against the
 // full live population (measBuf still holds this cycle's members). Exact
-// integer counts, so "confirmed" means genuinely zero missing entries.
-func (r *runner) confirmPerfect() bool {
+// integer counts, so "confirmed" means genuinely zero missing entries; the
+// aggregate is returned so a refuted sample's cycle can report the exact
+// measurement instead.
+func (r *runner) confirmPerfect() (truth.Aggregate, bool) {
 	agg := r.tr.MeasureAll(r.measBuf, r.p.MeasureWorkers)
-	return agg.LeafMissing == 0 && agg.PrefixMissing == 0
+	return agg, agg.LeafMissing == 0 && agg.PrefixMissing == 0
 }
 
 // spawn creates a node: its sampling instance (live NEWSCAST or shared

@@ -327,9 +327,16 @@ func RunLive(p LiveParams, seed int64) (*LiveResult, error) {
 				// An all-perfect sample can simply have missed every
 				// imperfect node; confirm with one exact measurement while
 				// the world is still paused before the convergence check
-				// below may trust it. The point stays the sampled estimate.
+				// below may trust it. When the exact measurement disagrees
+				// it supersedes the sample as the reported point (SampleSize
+				// == 0 marks it exact): the full measurement is already paid
+				// for, and an optimistic estimate the run itself refuted
+				// would misreport the convergence tail.
 				agg := tr.MeasureAll(ms, p.MeasureWorkers)
 				confirmed = agg.LeafMissing == 0 && agg.PrefixMissing == 0
+				if !confirmed {
+					pt = pointFromAggregate(cycle, agg, alive, st.Sent, st.Dropped, 0)
+				}
 			}
 		} else {
 			agg := tr.MeasureAll(ms, p.MeasureWorkers)

@@ -161,9 +161,11 @@ func TestStatSampleCoverageHighChurn(t *testing.T) {
 // an all-zero sample alone must not end the run. With seed 3 the n=256
 // network truly converges at cycle 7, but a size-8 sample reads all-perfect
 // from cycle 4 on (the sample simply misses the last few imperfect nodes).
-// The runner now confirms any perfect-looking sample with one exact
-// MeasureAll, so the sampled run must stop at the same cycle as the full
-// one — under the old rule it declared convergence at cycle 4.
+// The runner confirms any perfect-looking sample with one exact MeasureAll,
+// so the sampled run must stop at the same cycle as the full one — and a
+// refuted sample's cycle must report the exact measurement it was refuted
+// by (SampleSize == 0, equal to the full run's point), never the optimistic
+// estimate the run itself disproved.
 func TestSampledConvergenceConfirmed(t *testing.T) {
 	base := Params{N: 256, Seed: 3, Config: core.DefaultConfig(), MaxCycles: 40}
 	full, err := Run(base)
@@ -179,18 +181,28 @@ func TestSampledConvergenceConfirmed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The scenario must actually exercise the confirm path: at least one
-	// pre-convergence cycle whose sample read all-perfect. Deterministic —
-	// if this stops holding, re-pin a seed that produces an optimistic
-	// sample (most small seeds do).
-	optimistic := 0
+	// The confirm path leaves a visible fingerprint now: a pre-convergence
+	// cycle whose sample read all-perfect gets the exact measurement as its
+	// point. The sampled run's protocol trace is bit-identical to the full
+	// run's (pinned below by TestStatSampledRunMatchesFullTrend), so a
+	// replaced point must equal the full run's point at that cycle exactly.
+	// Deterministic — if no cycle gets replaced anymore, re-pin a seed that
+	// produces an optimistic sample (most small seeds do).
+	refuted := 0
 	for c := 0; c < full.ConvergedAt && c < len(sampled.Points); c++ {
-		if pt := sampled.Points[c]; pt.LeafMissing == 0 && pt.PrefixMissing == 0 {
-			optimistic++
+		pt := sampled.Points[c]
+		if pt.LeafMissing == 0 && pt.PrefixMissing == 0 {
+			t.Errorf("cycle %d: a refuted all-perfect sample survived as the reported point", c)
+		}
+		if pt.SampleSize == 0 {
+			refuted++
+			if pt != full.Points[c] {
+				t.Errorf("cycle %d: replaced point %+v != exact point %+v", c, pt, full.Points[c])
+			}
 		}
 	}
-	if optimistic == 0 {
-		t.Error("no optimistic pre-convergence sample; the scenario no longer exercises the confirmation")
+	if refuted == 0 {
+		t.Error("no refuted pre-convergence sample; the scenario no longer exercises the confirmation")
 	}
 	if sampled.ConvergedAt != full.ConvergedAt {
 		t.Errorf("sampled ConvergedAt = %d, want %d (exact convergence)", sampled.ConvergedAt, full.ConvergedAt)
@@ -233,6 +245,15 @@ func TestStatSampledRunMatchesFullTrend(t *testing.T) {
 	}
 	for i := range full.Points {
 		f, s := full.Points[i], sampled.Points[i]
+		if s.SampleSize == 0 {
+			// A refuted all-perfect sample reports the exact confirm
+			// measurement instead; identical traces make it equal to the
+			// full run's point.
+			if s != f {
+				t.Fatalf("cycle %d: replaced point %+v != exact point %+v", i, s, f)
+			}
+			continue
+		}
 		if s.SampleSize != sp.MeasureSample {
 			t.Fatalf("cycle %d: SampleSize = %d, want %d", i, s.SampleSize, sp.MeasureSample)
 		}

@@ -1,0 +1,147 @@
+// Package load is the serving-plane workload driver: a deterministic
+// seeded closed-loop generator that fires get/put operations from G
+// workers against a dht.Cluster while churn or partition scenarios run,
+// recording routed-hop counts, outcome rates, and latency percentiles.
+//
+// All per-worker measurement goes into worker-owned, cache-line-padded
+// structs; nothing on the op path takes a lock or touches shared memory
+// beyond the cluster itself. Merging happens once per cycle, after the
+// WaitGroup join publishes every worker's writes (the join is the only
+// synchronisation the histograms need).
+package load
+
+import "math/bits"
+
+// LatHist is a fixed-bucket log-scale histogram for latency-like values:
+// bucket b holds observations v with bits.Len64(v) == b, i.e. v in
+// [2^(b-1), 2^b). 64 fixed buckets cover the full uint64 range, so two
+// histograms merge by vector addition — no bounds negotiation, no locks.
+type LatHist struct {
+	Counts [65]uint64
+}
+
+// Observe records one value.
+func (h *LatHist) Observe(v uint64) {
+	h.Counts[bits.Len64(v)]++
+}
+
+// Merge adds o's counts into h.
+func (h *LatHist) Merge(o *LatHist) {
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+}
+
+// Count returns the number of observations.
+func (h *LatHist) Count() uint64 {
+	var n uint64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile returns a representative value for quantile q in [0, 1]: the
+// log-midpoint of the bucket holding the q-th observation. Zero when the
+// histogram is empty.
+func (h *LatHist) Quantile(q float64) uint64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total-1))
+	var cum uint64
+	for b, c := range h.Counts {
+		cum += c
+		if cum > rank {
+			if b == 0 {
+				return 0
+			}
+			lo := uint64(1) << uint(b-1)
+			// Midpoint of [2^(b-1), 2^b): lo + lo/2.
+			return lo + lo/2
+		}
+	}
+	return 0
+}
+
+// maxHopBucket caps the linear hop histogram; prefix routing resolves in
+// O(log N) hops so anything above this is pathological and clamps.
+const maxHopBucket = 63
+
+// HopHist is a fixed linear histogram for routed hop counts — hop
+// distributions are narrow, so exact small-integer buckets beat log
+// scale. Merges by vector addition like LatHist.
+type HopHist struct {
+	Counts [maxHopBucket + 1]uint64
+}
+
+// Observe records one hop count (clamped to the last bucket).
+func (h *HopHist) Observe(hops int) {
+	if hops < 0 {
+		hops = 0
+	}
+	if hops > maxHopBucket {
+		hops = maxHopBucket
+	}
+	h.Counts[hops]++
+}
+
+// Merge adds o's counts into h.
+func (h *HopHist) Merge(o *HopHist) {
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+}
+
+// Count returns the number of observations.
+func (h *HopHist) Count() uint64 {
+	var n uint64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile returns the exact hop count at quantile q in [0, 1]. Zero when
+// empty.
+func (h *HopHist) Quantile(q float64) int {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total-1))
+	var cum uint64
+	for b, c := range h.Counts {
+		cum += c
+		if cum > rank {
+			return b
+		}
+	}
+	return maxHopBucket
+}
+
+// Mean returns the average hop count. Zero when empty.
+func (h *HopHist) Mean() float64 {
+	var n, sum uint64
+	for b, c := range h.Counts {
+		n += c
+		sum += uint64(b) * c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}

@@ -1,0 +1,261 @@
+package load
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/dht"
+	"repro/internal/id"
+	"repro/internal/peer"
+)
+
+// Config parameterises a generator. The zero value is not useful; fill in
+// at least Workers and KeySpace (New applies the documented defaults for
+// zero fields).
+type Config struct {
+	// Workers is G, the number of closed-loop workers (default 1). Each
+	// worker issues its share of a cycle's ops sequentially — offered
+	// load scales with G, as in a closed-loop benchmark client.
+	Workers int
+	// KeySpace is the number of distinct keys (default 1024). Keys are
+	// drawn deterministically from Seed.
+	KeySpace int
+	// GetRatio is the fraction of operations that are gets: 0 selects the
+	// default 0.9; negative forces an all-put workload.
+	GetRatio float64
+	// ZipfS skews key popularity: > 1 selects a Zipf(s) distribution over
+	// the key space (hot keys first), anything else selects uniform.
+	ZipfS float64
+	// ValueSize is the byte length of every written value (default 64).
+	ValueSize int
+	// Seed makes the op stream deterministic: worker w derives its RNG
+	// from Seed and w only, so a run is reproducible for any fixed
+	// (Config, cluster history).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.KeySpace <= 0 {
+		c.KeySpace = 1024
+	}
+	if c.GetRatio == 0 {
+		c.GetRatio = 0.9
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 64
+	}
+	return c
+}
+
+// Stats is a merged snapshot of workload counters. Ops = OK + NotFound +
+// NoRoute; Degraded counts puts that stored fewer replicas than the
+// op-time target (dht.OpStats.Stored < Want).
+type Stats struct {
+	Ops, OK, NotFound, NoRoute uint64
+	Gets, Puts                 uint64
+	Degraded                   uint64
+	Hops                       HopHist
+	Lat                        LatHist
+	Elapsed                    time.Duration
+}
+
+// Merge adds o into s (histogram vector adds; Elapsed takes the max —
+// workers run concurrently, so wall time is the slowest worker's).
+func (s *Stats) Merge(o *Stats) {
+	s.Ops += o.Ops
+	s.OK += o.OK
+	s.NotFound += o.NotFound
+	s.NoRoute += o.NoRoute
+	s.Gets += o.Gets
+	s.Puts += o.Puts
+	s.Degraded += o.Degraded
+	s.Hops.Merge(&o.Hops)
+	s.Lat.Merge(&o.Lat)
+	if o.Elapsed > s.Elapsed {
+		s.Elapsed = o.Elapsed
+	}
+}
+
+// SuccessRate returns OK/Ops (1 when no ops ran).
+func (s *Stats) SuccessRate() float64 {
+	if s.Ops == 0 {
+		return 1
+	}
+	return float64(s.OK) / float64(s.Ops)
+}
+
+// worker is one closed-loop client. The struct is padded to a multiple of
+// the cache line so adjacent workers' counters never share a line.
+type worker struct {
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	scratch []byte
+	val     []byte
+	stats   Stats
+	_       [64]byte
+}
+
+// keyIndex draws the next key index from the configured popularity
+// distribution.
+func (w *worker) keyIndex(keySpace int) int {
+	if w.zipf != nil {
+		return int(w.zipf.Uint64())
+	}
+	return w.rng.Intn(keySpace)
+}
+
+// Generator drives a dht.Cluster with a deterministic closed-loop
+// workload. Not safe for concurrent use; RunCycle itself fans out to
+// Workers goroutines internally.
+type Generator struct {
+	c       *dht.Cluster
+	cfg     Config
+	keys    []id.ID
+	workers []*worker
+	origins []peer.Addr
+	totals  Stats
+}
+
+// New builds a generator over the cluster. The key space and every
+// worker's RNG derive from cfg.Seed, so two generators with equal configs
+// issue identical op streams against identical cluster histories.
+func New(c *dht.Cluster, cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	g := &Generator{c: c, cfg: cfg}
+	krng := rand.New(rand.NewSource(cfg.Seed))
+	g.keys = make([]id.ID, cfg.KeySpace)
+	for i := range g.keys {
+		g.keys[i] = id.ID(krng.Uint64())
+	}
+	g.workers = make([]*worker, cfg.Workers)
+	for i := range g.workers {
+		rng := rand.New(rand.NewSource(cfg.Seed + 7919*int64(i+1)))
+		w := &worker{
+			rng:     rng,
+			scratch: make([]byte, 0, cfg.ValueSize+16),
+			val:     make([]byte, cfg.ValueSize),
+		}
+		for j := range w.val {
+			w.val[j] = byte(cfg.Seed) + byte(j)
+		}
+		if cfg.ZipfS > 1 {
+			w.zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.KeySpace-1))
+		}
+		g.workers[i] = w
+	}
+	return g
+}
+
+// Preload writes every key once (single-threaded, deterministic origin
+// order) so gets have something to find, and returns the number of keys
+// stored at full replication.
+func (g *Generator) Preload() int {
+	g.refreshOrigins()
+	full := 0
+	var st dht.OpStats
+	w := g.workers[0]
+	for i, key := range g.keys {
+		from := g.origins[i%len(g.origins)]
+		if err := g.c.PutStats(from, key, w.val, &st); err != nil {
+			continue
+		}
+		if st.Stored >= st.Want {
+			full++
+		}
+	}
+	return full
+}
+
+// refreshOrigins re-snapshots the live membership ops originate from.
+// Called at every cycle boundary so workers stop originating from nodes a
+// scenario killed (a real client would re-resolve its bootstrap list).
+func (g *Generator) refreshOrigins() {
+	g.origins = g.c.LiveAddrs(g.origins[:0])
+}
+
+// RunCycle issues ops operations (split across Workers closed loops) and
+// returns the merged stats for this cycle only. Cumulative stats
+// accumulate in Totals.
+func (g *Generator) RunCycle(ops int) Stats {
+	g.refreshOrigins()
+	if len(g.origins) == 0 || ops <= 0 {
+		return Stats{}
+	}
+	var wg sync.WaitGroup
+	per := ops / len(g.workers)
+	extra := ops % len(g.workers)
+	for i, w := range g.workers {
+		n := per
+		if i < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w *worker, n int) {
+			defer wg.Done()
+			g.drive(w, n)
+		}(w, n)
+	}
+	wg.Wait() // happens-before: publishes every worker's stats to the merger
+	var cycle Stats
+	for _, w := range g.workers {
+		cycle.Merge(&w.stats)
+		w.stats = Stats{}
+	}
+	g.totals.Merge(&cycle)
+	return cycle
+}
+
+// Totals returns the stats accumulated across all cycles so far.
+func (g *Generator) Totals() Stats { return g.totals }
+
+// drive is one worker's closed loop: draw key and origin, fire the op,
+// classify the outcome. Steady-state cost per op is the DHT op itself —
+// the loop allocates nothing.
+func (g *Generator) drive(w *worker, ops int) {
+	c := g.c
+	start := time.Now()
+	var st dht.OpStats
+	for i := 0; i < ops; i++ {
+		key := g.keys[w.keyIndex(g.cfg.KeySpace)]
+		from := g.origins[w.rng.Intn(len(g.origins))]
+		isGet := w.rng.Float64() < g.cfg.GetRatio
+		opStart := time.Now()
+		var err error
+		if isGet {
+			var out []byte
+			out, err = c.GetStats(w.scratch[:0], from, key, &st)
+			if err == nil {
+				w.scratch = out[:0]
+			}
+			w.stats.Gets++
+		} else {
+			st.Stored, st.Want = 0, 0
+			err = c.PutStats(from, key, w.val, &st)
+			if err == nil && st.Stored < st.Want {
+				w.stats.Degraded++
+			}
+			w.stats.Puts++
+		}
+		w.stats.Lat.Observe(uint64(time.Since(opStart)))
+		w.stats.Ops++
+		switch {
+		case err == nil:
+			w.stats.OK++
+			w.stats.Hops.Observe(st.Hops)
+		case errors.Is(err, dht.ErrNotFound):
+			w.stats.NotFound++
+			w.stats.Hops.Observe(st.Hops)
+		default:
+			w.stats.NoRoute++
+		}
+	}
+	w.stats.Elapsed = time.Since(start)
+}

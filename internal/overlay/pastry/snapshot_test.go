@@ -1,0 +1,121 @@
+package pastry
+
+import (
+	"testing"
+
+	"repro/internal/id"
+	"repro/internal/peer"
+)
+
+// TestSnapshotNextHopMatchesRouter: with a nil filter, NextHopAlive must
+// agree hop-for-hop with the live router's NextHop for every (start, key).
+func TestSnapshotNextHopMatchesRouter(t *testing.T) {
+	routers, _, _ := perfectRouters(t, 128, 11)
+	snaps := make([]*Snapshot, len(routers))
+	for i, r := range routers {
+		snaps[i] = r.Snapshot()
+	}
+	keys := id.Unique(200, 12)
+	for i, r := range routers {
+		for _, key := range keys {
+			wantNext, wantDone := r.NextHop(key)
+			gotNext, gotDone := snaps[i].NextHopAlive(key, r.Self().Addr, nil)
+			if wantDone != gotDone || wantNext.ID != gotNext.ID {
+				t.Fatalf("router %d key %s: snapshot hop (%s, %v) != router hop (%s, %v)",
+					i, key, gotNext, gotDone, wantNext, wantDone)
+			}
+		}
+	}
+}
+
+// TestSnapshotImmutable: repairing the router must not change an already
+// captured snapshot's view.
+func TestSnapshotImmutable(t *testing.T) {
+	routers, descs, _ := perfectRouters(t, 64, 13)
+	r := routers[0]
+	snap := r.Snapshot()
+	beforeSucc, beforePred := snap.Leaf()
+	nSucc, nPred := len(beforeSucc), len(beforePred)
+	first := beforeSucc[0]
+
+	// Scrub the closest successor from the live structures.
+	r.Repair(first.ID, descs[:0])
+
+	afterSucc, afterPred := snap.Leaf()
+	if len(afterSucc) != nSucc || len(afterPred) != nPred || afterSucc[0] != first {
+		t.Fatal("repair mutated a captured snapshot")
+	}
+	fresh := r.Snapshot()
+	fs, _ := fresh.Leaf()
+	for _, d := range fs {
+		if d.ID == first.ID {
+			t.Fatal("repaired router still lists the departed peer")
+		}
+	}
+}
+
+// TestSnapshotRoutesAroundDead: with a filter rejecting a victim, no hop
+// may ever land on it, and routes must still terminate at a live root.
+func TestSnapshotRoutesAroundDead(t *testing.T) {
+	routers, descs, _ := perfectRouters(t, 256, 14)
+	snaps := make([]*Snapshot, len(routers))
+	byAddr := make(map[peer.Addr]int, len(routers))
+	for i, r := range routers {
+		snaps[i] = r.Snapshot()
+		byAddr[r.Self().Addr] = i
+	}
+	dead := map[peer.Addr]bool{descs[7].Addr: true, descs[99].Addr: true, descs[200].Addr: true}
+	alive := func(_, to peer.Addr) bool { return !dead[to] }
+
+	keys := id.Unique(100, 15)
+	for _, key := range keys {
+		cur := 0
+		if dead[descs[cur].Addr] {
+			cur = 1
+		}
+		for hops := 0; ; hops++ {
+			if hops > 64 {
+				t.Fatalf("key %s: no termination", key)
+			}
+			next, done := snaps[cur].NextHopAlive(key, descs[0].Addr, alive)
+			if done {
+				if dead[snaps[cur].Self().Addr] {
+					t.Fatalf("key %s delivered at dead node", key)
+				}
+				break
+			}
+			if dead[next.Addr] {
+				t.Fatalf("key %s: hop to dead node %s", key, next)
+			}
+			cur = byAddr[next.Addr]
+		}
+	}
+}
+
+// TestRepairRefillsLeafSet: after a neighbour departs, Repair with the
+// departed node's neighborhood must both scrub the victim and keep the
+// leaf set full.
+func TestRepairRefillsLeafSet(t *testing.T) {
+	routers, _, _ := perfectRouters(t, 128, 16)
+	r := routers[0]
+	victim := r.Snapshot().succ[0]
+	vi := -1
+	for i, rr := range routers {
+		if rr.Self().ID == victim.ID {
+			vi = i
+		}
+	}
+	if vi < 0 {
+		t.Fatal("victim not found")
+	}
+	before := r.leaf.Len()
+	vs := routers[vi].Snapshot()
+	cand := append(append([]peer.Descriptor{}, vs.succ...), vs.pred...)
+	r.Repair(victim.ID, cand)
+	if r.leaf.Contains(victim.ID) {
+		t.Fatal("victim survives in leaf set after Repair")
+	}
+	if got := r.leaf.Len(); got < before {
+		t.Fatalf("leaf set shrank after Repair: %d -> %d (candidates should refill)", before, got)
+	}
+}

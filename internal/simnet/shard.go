@@ -85,11 +85,22 @@ func (sh *shardState) emit(e event) {
 // Sharded reports whether the network runs the sharded engine.
 func (n *Network) Sharded() bool { return len(n.shards) > 0 }
 
+// WideWindows reports how many windows ran with an adaptively widened
+// lookahead (see lookahead) — an observability counter for tuning, not a
+// semantic knob.
+func (n *Network) WideWindows() int64 { return n.wideWindows }
+
 // OnBarrier registers fn to run on the driving goroutine after every
 // window barrier, with every shard quiescent and all generated events
 // merged — the point of a sharded run where a measurement plane (e.g. the
 // truth oracle) can safely read protocol state mid-Run. Pass nil to clear.
 func (n *Network) OnBarrier(fn func(now int64)) { n.barrier = fn }
+
+// maxAdaptMult caps the adaptive window multiplier: beyond ~1024 base
+// lookaheads a window is already amortising its barrier to nothing, and
+// the cap keeps base·mult far from int64 overflow for any plausible
+// latency floor.
+const maxAdaptMult = 1 << 10
 
 // lookahead returns the conservative window width W: the minimum distance
 // a dispatched event can schedule into the future. Message latency is
@@ -97,6 +108,17 @@ func (n *Network) OnBarrier(fn func(now int64)) { n.barrier = fn }
 // reschedule one period ahead, so W = min(latency floor, smallest attached
 // period). Recomputed per window: an Attach during a serial window may
 // lower the period bound.
+//
+// W is what licenses running a window's shards concurrently, but it is
+// often far too pessimistic: a workload whose traffic stays shard-local
+// (self-sends, timers, clustered topologies) pays a full barrier every W
+// ticks for cross-shard exchange that never happens. runSharded therefore
+// adapts: every window that closes with zero cross-shard events doubles
+// adaptMult (capped at maxAdaptMult), and any cross-shard event resets it
+// to 1. Widened windows run through runSerialWindow — exact sequential
+// semantics at any width — so adaptation affects barrier placement only,
+// never the event trace: the trace-invariance tests pin byte-identical
+// traces against fixed-window runs.
 func (n *Network) lookahead() int64 {
 	w := int64(1)
 	if n.cfg.MaxLatency > 0 && n.cfg.MinLatency > 1 {
@@ -130,14 +152,40 @@ func (n *Network) runSharded(until int64) int {
 		if base == math.MaxInt64 || base > until {
 			break
 		}
-		wend := base + n.lookahead() - 1
+		w := n.lookahead()
+		if n.adaptMult < 1 {
+			n.adaptMult = 1
+		}
+		wide := n.adaptMult > 1
+		width := w
+		if wide {
+			width = w * n.adaptMult // adaptMult capped, so this cannot overflow
+		}
+		wend := base + width - 1
 		if wend > until {
 			wend = until
 		}
-		if n.coord.len() > 0 && n.coord.peekTime() <= wend {
+		n.crossShard = 0
+		if wide || (n.coord.len() > 0 && n.coord.peekTime() <= wend) {
+			// Widened windows run serially: runSerialWindow has exact
+			// sequential semantics for any window end, whereas the
+			// parallel path's lookahead invariant licenses only the base
+			// width. The trade is fewer barriers against lost parallelism
+			// — a win exactly when traffic is shard-local, which is the
+			// condition that widened the window in the first place.
+			if wide {
+				n.wideWindows++
+			}
 			processed += n.runSerialWindow(wend)
 		} else {
 			processed += n.runParallelWindow(wend)
+		}
+		if n.crossShard == 0 && !n.adaptOff {
+			if n.adaptMult < maxAdaptMult {
+				n.adaptMult <<= 1
+			}
+		} else {
+			n.adaptMult = 1
 		}
 		// Every event left anywhere is beyond wend, so the global clock
 		// advances monotonically window by window.
@@ -273,6 +321,9 @@ func (n *Network) sendSharded(from, to peer.Addr, pid ProtoID, msg Message) {
 		to:   to, pid: pid, from: from, msg: msg,
 	}
 	if n.mode == modeSerial {
+		if n.valid(to) && n.nodes[to].shard != st.shard {
+			n.crossShard++
+		}
 		n.push(e)
 		return
 	}
@@ -331,6 +382,14 @@ func (n *Network) mergeGenerated() {
 		}
 		g := &n.shards[best].gen[heads[best]]
 		heads[best]++
+		// Tally cross-shard traffic for the adaptive window: a message
+		// whose destination lives on a different shard than the sender is
+		// the exchange the barrier exists for. Ticks and inits always stay
+		// on their own node's shard.
+		if g.ev.kind == evMessage && n.valid(g.ev.to) &&
+			n.nodes[g.ev.to].shard != n.nodes[g.ev.from].shard {
+			n.crossShard++
+		}
 		n.push(g.ev)
 	}
 	for i := range n.shards {

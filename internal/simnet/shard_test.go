@@ -81,9 +81,12 @@ type probeResult struct {
 // plus (optionally) churn from both At closures and harness calls between
 // Run windows — and returns the full observable result. The workload is a
 // pure function of cfg, so results are comparable across shard counts.
-func runProbeScenario(t *testing.T, cfg Config, n int, churn bool) probeResult {
+// fixed freezes the adaptive window multiplier at 1 (the pre-adaptive
+// fixed-window engine), giving the golden the adaptive runs are pinned to.
+func runProbeScenario(t *testing.T, cfg Config, n int, churn, fixed bool) probeResult {
 	t.Helper()
 	net := New(cfg)
+	net.adaptOff = fixed
 	var protos []*shardProbe
 	addProbe := func() {
 		a := net.AddNode()
@@ -167,14 +170,14 @@ func TestShardedMatchesSequential(t *testing.T) {
 	for _, tc := range configs {
 		for _, n := range []int{5, 64} {
 			for _, churn := range []bool{false, true} {
-				ref := runProbeScenario(t, tc.cfg, n, churn)
+				ref := runProbeScenario(t, tc.cfg, n, churn, false)
 				if ref.stats.Sent == 0 || ref.stats.Delivered == 0 {
 					t.Fatalf("%s: degenerate reference run: %+v", tc.name, ref.stats)
 				}
 				for _, shards := range []int{1, 2, 4, 7} {
 					cfg := tc.cfg
 					cfg.Shards = shards
-					got := runProbeScenario(t, cfg, n, churn)
+					got := runProbeScenario(t, cfg, n, churn, false)
 					sameProbeResult(t,
 						fmt.Sprintf("%s/n=%d/churn=%v/shards=%d", tc.name, n, churn, shards),
 						ref, got)
@@ -193,7 +196,7 @@ func TestShardedMatchesSequential(t *testing.T) {
 func TestShardedInvarianceStochastic(t *testing.T) {
 	cfg := Config{Seed: 99, Drop: 0.25, MinLatency: 1, MaxLatency: 6}
 	cfg.Shards = 2
-	ref := runProbeScenario(t, cfg, 64, true)
+	ref := runProbeScenario(t, cfg, 64, true, false)
 	if ref.stats.Dropped == 0 {
 		t.Fatal("stochastic scenario dropped nothing; drop path untested")
 	}
@@ -202,13 +205,13 @@ func TestShardedInvarianceStochastic(t *testing.T) {
 	}
 	for _, shards := range []int{3, 4, 8} {
 		cfg.Shards = shards
-		got := runProbeScenario(t, cfg, 64, true)
+		got := runProbeScenario(t, cfg, 64, true, false)
 		sameProbeResult(t, fmt.Sprintf("shards=%d", shards), ref, got)
 	}
 	// Determinism: the same configuration twice is the same run.
 	cfg.Shards = 4
-	a := runProbeScenario(t, cfg, 64, true)
-	b := runProbeScenario(t, cfg, 64, true)
+	a := runProbeScenario(t, cfg, 64, true, false)
+	b := runProbeScenario(t, cfg, 64, true, false)
 	sameProbeResult(t, "repeat", a, b)
 }
 
@@ -217,7 +220,7 @@ func TestShardedInvarianceStochastic(t *testing.T) {
 // dead destination, with per-shard counters summing to the global truth.
 func TestShardedConservation(t *testing.T) {
 	for _, shards := range []int{0, 4} {
-		res := runProbeScenario(t, Config{Seed: 5, Drop: 0.2, MinLatency: 1, MaxLatency: 4, Shards: shards}, 48, true)
+		res := runProbeScenario(t, Config{Seed: 5, Drop: 0.2, MinLatency: 1, MaxLatency: 4, Shards: shards}, 48, true, false)
 		s := res.stats
 		if s.Sent != s.Delivered+s.Dropped+s.DeadDest {
 			t.Errorf("shards=%d: ledger imbalance: %+v", shards, s)
@@ -368,4 +371,102 @@ func TestShardedChurnHammer(t *testing.T) {
 	}
 	b := run()
 	sameProbeResult(t, "hammer repeat", a, b)
+}
+
+// localProbe is a shard-local workload: every tick sends a message to the
+// node itself, so no event ever crosses a shard boundary. This is the
+// regime the adaptive window exists for — without widening, the engine
+// pays a full barrier every lookahead for exchange that never happens.
+type localProbe struct {
+	ticks int
+	hash  uint64
+}
+
+func (p *localProbe) mix(vals ...int64) {
+	for _, v := range vals {
+		p.hash = splitmix64(p.hash ^ uint64(v))
+	}
+}
+
+func (p *localProbe) Init(ctx proto.Context) { p.mix(1, ctx.Now(), int64(ctx.Self())) }
+
+func (p *localProbe) Tick(ctx proto.Context) {
+	p.ticks++
+	p.mix(2, ctx.Now())
+	ctx.Send(ctx.Self(), probeMsg{hop: 0, tag: int64(ctx.Rand().Int31())})
+}
+
+func (p *localProbe) Handle(ctx proto.Context, from peer.Addr, msg proto.Message) {
+	m := msg.(probeMsg)
+	p.mix(3, ctx.Now(), int64(from), m.tag)
+}
+
+// runLocalScenario runs the shard-local workload and returns the full
+// observable result plus the widened-window and barrier counts.
+func runLocalScenario(t *testing.T, shards int, fixed bool) (probeResult, int64, int) {
+	t.Helper()
+	net := New(Config{Seed: 17, Shards: shards, MinLatency: 2, MaxLatency: 2})
+	net.adaptOff = fixed
+	const n = 24
+	var protos []*localProbe
+	for i := 0; i < n; i++ {
+		a := net.AddNode()
+		pr := &localProbe{}
+		if err := net.Attach(a, 1, pr, 5, int64(a%5)); err != nil {
+			t.Fatal(err)
+		}
+		protos = append(protos, pr)
+	}
+	barriers := 0
+	net.OnBarrier(func(int64) { barriers++ })
+	events := net.Run(300)
+	events += net.Run(600)
+	res := probeResult{stats: net.Stats(), events: events, now: net.Now(), nodes: net.NumNodes()}
+	for _, pr := range protos {
+		res.hashes = append(res.hashes, pr.hash)
+		res.ticks = append(res.ticks, pr.ticks)
+	}
+	return res, net.WideWindows(), barriers
+}
+
+// TestAdaptiveWideningLocalTraffic pins the adaptive window's contract on
+// the workload it targets: with purely shard-local traffic the adaptive
+// run must (a) widen — and keep widening — so barriers collapse by orders
+// of magnitude, and (b) stay byte-identical to both the fixed-window
+// sharded engine and the sequential engine.
+func TestAdaptiveWideningLocalTraffic(t *testing.T) {
+	seq, seqWide, _ := runLocalScenario(t, 0, false)
+	fixed, fixWide, fixBarriers := runLocalScenario(t, 4, true)
+	ada, adaWide, adaBarriers := runLocalScenario(t, 4, false)
+	sameProbeResult(t, "fixed-vs-sequential", seq, fixed)
+	sameProbeResult(t, "adaptive-vs-fixed", fixed, ada)
+	if seqWide != 0 || fixWide != 0 {
+		t.Errorf("widening engaged where disabled: seq=%d fixed=%d", seqWide, fixWide)
+	}
+	if adaWide == 0 {
+		t.Error("adaptive widening never engaged on a shard-local workload")
+	}
+	if adaBarriers*4 > fixBarriers {
+		t.Errorf("widening did not collapse barriers: adaptive=%d fixed=%d", adaBarriers, fixBarriers)
+	}
+}
+
+// TestAdaptiveWideningCrossTraffic pins the other half of the contract on
+// the cross-heavy probe scenario (fanout pings across the whole address
+// space, plus churn): cross-shard traffic must keep resetting the
+// multiplier so most windows still run parallel at the conservative
+// width, and the trace must stay byte-identical to the fixed-window
+// golden — adaptation moves barriers, never events.
+func TestAdaptiveWideningCrossTraffic(t *testing.T) {
+	cfg := Config{Seed: 42, MinLatency: 3, MaxLatency: 3, Shards: 4}
+	fixed := runProbeScenario(t, cfg, 64, true, true)
+	ada := runProbeScenario(t, cfg, 64, true, false)
+	sameProbeResult(t, "adaptive-vs-fixed-golden", fixed, ada)
+
+	// Stochastic config too: drops and a latency window change which
+	// messages exist, not the invariance argument.
+	scfg := Config{Seed: 99, Drop: 0.25, MinLatency: 1, MaxLatency: 6, Shards: 4}
+	sfixed := runProbeScenario(t, scfg, 64, true, true)
+	sada := runProbeScenario(t, scfg, 64, true, false)
+	sameProbeResult(t, "adaptive-vs-fixed-stochastic", sfixed, sada)
 }

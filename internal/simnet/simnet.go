@@ -177,6 +177,22 @@ type Network struct {
 	barrier func(now int64)
 	// mergeHeads is the barrier merge's reusable per-shard cursor slice.
 	mergeHeads []int
+	// adaptMult is the adaptive window multiplier (see shard.go): it
+	// doubles every time a window closes with no cross-shard traffic and
+	// resets to 1 on any. Windows with adaptMult > 1 run serially over
+	// base·mult lookaheads — serial execution is exact for any window
+	// width, while the parallel path's lookahead invariant licenses only
+	// the base width.
+	adaptMult int64
+	// adaptOff freezes adaptMult at 1 (fixed-window mode; used by the
+	// trace-invariance tests).
+	adaptOff bool
+	// crossShard counts cross-shard events generated in the current
+	// window: parallel windows tally at the merge barrier, serial windows
+	// at push/send time.
+	crossShard int
+	// wideWindows counts windows that ran with adaptMult > 1.
+	wideWindows int64
 }
 
 // New returns an empty network with the given configuration.
@@ -197,6 +213,7 @@ func New(cfg Config) *Network {
 			n.shards[i].queue.init(queueBuckets(cfg))
 		}
 		n.coord.init(queueBuckets(cfg))
+		n.adaptMult = 1
 		return n
 	}
 	n.queue.init(queueBuckets(cfg))
@@ -489,6 +506,12 @@ func (n *Network) push(e event) {
 		return
 	}
 	if e.kind == evFunc {
+		if n.mode == modeSerial {
+			// A closure scheduled mid-window can touch any shard's state;
+			// count it as cross-shard traffic so the adaptive window
+			// collapses back to the conservative width.
+			n.crossShard++
+		}
 		n.coord.push(e)
 		return
 	}
