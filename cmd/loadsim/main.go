@@ -7,6 +7,7 @@
 //
 //	loadsim -n 4096 -scenario churn
 //	loadsim -n 1024 -scenario partition -ops 50000 -workers 8
+//	loadsim -n 1024 -scenario flash        # 25% standby burst-joins mid-run
 //	loadsim -n 512 -boot simnet            # bootstrap via the real protocol
 package main
 
@@ -50,6 +51,7 @@ type options struct {
 	scenario       string
 	churnRate      float64
 	seed           int64
+	standby        int
 	boot           string
 	measureSample  int
 	measureWorkers int
@@ -68,7 +70,7 @@ func parseArgs(args []string) (*options, error) {
 		zipfS    = fs.Float64("zipf", 0, "Zipf popularity exponent (>1 enables skew; 0 = uniform)")
 		valSize  = fs.Int("valsize", 64, "value size in bytes")
 		replicas = fs.Int("replicas", dht.DefaultReplicas, "replication factor")
-		scenario = fs.String("scenario", "none", "none|churn|crash|partition")
+		scenario = fs.String("scenario", "none", "none|churn|crash|partition|flash")
 		churn    = fs.Float64("churn", 0.01, "per-cycle fraction of live nodes removed (scenario=churn)")
 		seed     = fs.Int64("seed", 42, "random seed")
 		boot     = fs.String("boot", "perfect", "perfect|simnet (perfect tables, or bootstrap via the gossip protocol)")
@@ -94,6 +96,14 @@ func parseArgs(args []string) (*options, error) {
 	}
 	switch o.scenario {
 	case "none", "churn", "crash", "partition":
+	case "flash":
+		// A quarter of the population sits out as standbys and burst-joins
+		// at mid-run — the flash-crowd case the paper's joining analysis
+		// targets.
+		o.standby = o.n / 4
+		if o.standby < 1 {
+			o.standby = 1
+		}
 	default:
 		return nil, fmt.Errorf("unknown scenario %q", o.scenario)
 	}
@@ -122,13 +132,14 @@ type world struct {
 // buildPerfect constructs the cluster on perfect routing tables — the
 // post-bootstrap fixed point, without simulating the bootstrap itself.
 func buildPerfect(o *options) (*world, error) {
-	ids := id.Unique(o.n, o.seed)
-	descs := make([]peer.Descriptor, o.n)
+	total := o.n + o.standby
+	ids := id.Unique(total, o.seed)
+	descs := make([]peer.Descriptor, total)
 	for i, v := range ids {
 		descs[i] = peer.Descriptor{ID: v, Addr: peer.Addr(i)}
 	}
-	nodes := make([]*dht.Node, o.n)
-	members := make([]truth.Member, o.n)
+	nodes := make([]*dht.Node, total)
+	members := make([]truth.Member, total)
 	for i, d := range descs {
 		ls := core.NewLeafSet(d.ID, o.cfg.C)
 		ls.Update(descs)
@@ -144,14 +155,15 @@ func buildPerfect(o *options) (*world, error) {
 // network and promotes the converged structures into the DHT (the
 // examples/kvstore flow).
 func buildSimnet(o *options) (*world, error) {
+	total := o.n + o.standby
 	net := simnet.New(simnet.Config{Seed: o.seed})
-	ids := id.Unique(o.n, o.seed+1)
-	descs := make([]peer.Descriptor, o.n)
+	ids := id.Unique(total, o.seed+1)
+	descs := make([]peer.Descriptor, total)
 	for i := range descs {
 		descs[i] = peer.Descriptor{ID: ids[i], Addr: net.AddNode()}
 	}
 	oracle := sampling.NewOracle(descs, o.seed+2)
-	boot := make([]*core.Node, o.n)
+	boot := make([]*core.Node, total)
 	for i, d := range descs {
 		nd, err := core.NewNode(d, o.cfg, oracle)
 		if err != nil {
@@ -163,8 +175,8 @@ func buildSimnet(o *options) (*world, error) {
 		}
 	}
 	net.Run(o.cfg.Delta * 30)
-	nodes := make([]*dht.Node, o.n)
-	members := make([]truth.Member, o.n)
+	nodes := make([]*dht.Node, total)
+	members := make([]truth.Member, total)
 	for i, b := range boot {
 		nodes[i] = dht.NewNode(pastry.FromBootstrap(b))
 		members[i] = truth.Member{Self: descs[i].ID, Leaf: b.Leaf(), Table: b.Table()}
@@ -201,6 +213,18 @@ func (w *world) remove(i int) error {
 	w.nLive--
 	w.cluster.Remove(w.descs[i].Addr)
 	return w.oracle.Remove(w.descs[i].ID)
+}
+
+// join revives one standby everywhere: cluster (adoption + migration) and
+// the measurement oracle.
+func (w *world) join(i int) error {
+	if w.alive[i] {
+		return nil
+	}
+	w.alive[i] = true
+	w.nLive++
+	w.cluster.Join(w.descs[i].Addr)
+	return w.oracle.Add(w.descs[i].ID)
 }
 
 // liveMembers appends the truth.Members of live nodes to dst.
@@ -252,6 +276,18 @@ func applyScenario(o *options, w *world, cycle int, rng *rand.Rand) error {
 				return err
 			}
 		}
+	case "flash":
+		// The flash crowd: every standby joins at once at mid-run. Joins
+		// are applied in index order, one Join (adopt + migrate) at a
+		// time, so the run is deterministic.
+		if cycle != o.cycles/2 {
+			return nil
+		}
+		for i := o.n; i < o.n+o.standby; i++ {
+			if err := w.join(i); err != nil {
+				return err
+			}
+		}
 	case "partition":
 		// Split the address space in half for the middle third of the
 		// run, then heal.
@@ -282,6 +318,13 @@ func run(args []string, out io.Writer) error {
 	}
 	if err != nil {
 		return err
+	}
+	// Standbys sit out until the flash crowd: parked before the preload so
+	// the working set lives entirely on the initial population.
+	for i := o.n; i < o.n+o.standby; i++ {
+		if err := w.remove(i); err != nil {
+			return err
+		}
 	}
 	gen := load.New(w.cluster, load.Config{
 		Workers:   o.workers,
@@ -340,8 +383,8 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "# loadstats ops=%d ok=%d success=%.4f ops_per_sec=%.0f allocs_per_op=%.2f elapsed=%s\n",
 		tot.Ops, tot.OK, tot.SuccessRate(),
 		float64(tot.Ops)/elapsed.Seconds(), allocsPerOp, elapsed.Round(time.Millisecond))
-	if o.scenario == "churn" && tot.SuccessRate() < 0.99 {
-		return fmt.Errorf("success rate %.4f under churn, want >= 0.99", tot.SuccessRate())
+	if (o.scenario == "churn" || o.scenario == "flash") && tot.SuccessRate() < 0.99 {
+		return fmt.Errorf("success rate %.4f under %s, want >= 0.99", tot.SuccessRate(), o.scenario)
 	}
 	return nil
 }

@@ -55,6 +55,47 @@ func TestLoadSimGolden(t *testing.T) {
 	}
 }
 
+// TestLoadSimFlashCrowd pins the flash-crowd join scenario: a quarter of
+// the population burst-joins at mid-run, the live column must jump by
+// exactly the standby count, run() itself enforces the >= 0.99 success
+// gate, and the deterministic CSV is golden-pinned like the churn run.
+func TestLoadSimFlashCrowd(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-n", "256", "-cycles", "6", "-ops", "2000", "-workers", "2",
+		"-scenario", "flash", "-seed", "42",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err) // includes the success-rate gate tripping
+	}
+	out := sb.String()
+	var before, after bool
+	for _, line := range strings.Split(out, "\n") {
+		cols := strings.Split(line, ",")
+		if len(cols) < 2 || strings.HasPrefix(line, "#") || cols[0] == "cycle" {
+			continue
+		}
+		switch cols[1] {
+		case "256":
+			before = true
+		case "320":
+			after = true
+		default:
+			t.Fatalf("unexpected live count %s (want 256 pre-burst, 320 post)", cols[1])
+		}
+	}
+	if !before || !after {
+		t.Fatalf("flash burst not visible in the live column:\n%s", out)
+	}
+	det := deterministicColumns(t, out)
+	sum := sha256.Sum256([]byte(det))
+	got := hex.EncodeToString(sum[:])
+	const want = "dcd480386476afffe1b3b24785727dafae1b300a6eaad70d5ca0f30638fa3767"
+	if got != want {
+		t.Errorf("deterministic CSV hash = %s, want %s\ncontent:\n%s", got, want, det)
+	}
+}
+
 // TestLoadSimRepeatable: a fixed config is exactly repeatable even with
 // several concurrent workers — each worker's op stream is independently
 // seeded and the merge is a commutative sum, so goroutine scheduling

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMain reroutes the test binary into worker mode when the driver
+// (running inside a test) re-execs it: os.Executable() is the test binary
+// itself, so the NETSIM_WORKER marker distinguishes a worker spawn from a
+// normal `go test` invocation.
+func TestMain(m *testing.M) {
+	if os.Getenv("NETSIM_WORKER") == "1" {
+		os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+func TestParseArgs(t *testing.T) {
+	opts, err := parseArgs([]string{"-n", "64", "-procs", "3", "-scenario", "partition"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.n != 64 || opts.procs != 3 || opts.scenario.Name != "partition" {
+		t.Fatalf("parsed %+v", opts)
+	}
+	if opts.period == 0 {
+		t.Fatal("default period not resolved")
+	}
+	if _, err := parseArgs([]string{"-scenario", "latency"}); err == nil {
+		t.Fatal("latency scenario accepted")
+	}
+	if _, err := parseArgs([]string{"-procs", "0"}); err == nil {
+		t.Fatal("zero procs accepted")
+	}
+}
+
+// TestNetsimSmoke runs a real two-process campaign: the in-process driver
+// spawns two worker copies of this test binary, every protocol message
+// crosses loopback TCP, and the emitted CSV plus the conservation footer
+// are checked. This is the same path CI's netsim smoke exercises.
+func TestNetsimSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	var out bytes.Buffer
+	args := []string{
+		"-n", "48", "-procs", "2", "-cycles", "12", "-period", "15ms",
+		"-scenario", "churn", "-seed", "9", "-base-port", "19500",
+	}
+	if code := run(args, &out, os.Stderr); code != 0 {
+		t.Fatalf("netsim exited %d\noutput:\n%s", code, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "cycle,trials,leaf_missing_mean") {
+		t.Errorf("missing CSV header:\n%s", got)
+	}
+	if !strings.Contains(got, "# netsim n=48 procs=2") {
+		t.Errorf("missing campaign header:\n%s", got)
+	}
+	if !strings.Contains(got, "conserved=true") {
+		t.Errorf("traffic counters not conserved:\n%s", got)
+	}
+	// At least one data row beyond the header.
+	rows := 0
+	for _, line := range strings.Split(got, "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "cycle,") {
+			rows++
+		}
+	}
+	if rows == 0 {
+		t.Errorf("no data rows emitted:\n%s", got)
+	}
+}

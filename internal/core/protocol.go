@@ -66,6 +66,14 @@ func (m *Message) Recycle() {
 	messagePool.Put(m)
 }
 
+// NewMessage returns an empty pooled Message ready to be filled — the
+// decode-side counterpart of createMessage's pool draw. A transport that
+// deserialises frames appends into the returned message's Entries/Dead
+// arenas; once the engine retires the message (proto.Recyclable), the
+// arena returns to the pool for the next decode, so steady-state decoding
+// allocates nothing.
+func NewMessage() *Message { return messagePool.Get().(*Message) }
+
 // maxCertificates caps the death certificates attached per message.
 const maxCertificates = 32
 

@@ -494,6 +494,63 @@ func (c *Cluster) Remove(addr peer.Addr) {
 	c.migrate(cand)
 }
 
+// Join is the inverse of Remove: it revives a node that the cluster knows
+// but currently counts dead — a standby joining a flash crowd, or a
+// crashed node recovering. Under the repair lock the joiner is marked
+// alive, the live peers in its leaf neighbourhood adopt it (candidates ∪
+// {joiner}, the arrival-side mirror of Remove's Repair call), the joiner
+// refreshes its own structures against that live neighbourhood, and the
+// neighbourhood re-replicates so the key range the joiner now owns
+// actually reaches it. A recovering node re-enters with whatever its
+// store held before the crash; re-replication reconciles its key range,
+// and a fresh standby simply starts empty.
+func (c *Cluster) Join(addr peer.Addr) {
+	c.repairMu.Lock()
+	defer c.repairMu.Unlock()
+	slot, ok := c.slotOf(addr)
+	if !ok || c.alive[slot].Load() {
+		return
+	}
+	joiner := c.nodes[slot]
+	jdesc := joiner.router.Self()
+
+	c.alive[slot].Store(true)
+	if c.aliveByAddr != nil {
+		c.aliveByAddr[addr].Store(true)
+	}
+	c.live.Add(1)
+
+	// The joiner's live leaf neighbourhood, read from its last published
+	// snapshot. The snapshot may be stale — peers died while the joiner
+	// was down — so filter to the currently live ones.
+	jsnap := joiner.snap.Load()
+	succ, pred := jsnap.Leaf()
+	cand := make([]peer.Descriptor, 0, len(succ)+len(pred))
+	for _, d := range succ {
+		if s, ok := c.slotOf(d.Addr); ok && c.alive[s].Load() {
+			cand = append(cand, d)
+		}
+	}
+	for _, d := range pred {
+		if s, ok := c.slotOf(d.Addr); ok && c.alive[s].Load() {
+			cand = append(cand, d)
+		}
+	}
+	withJoiner := append(append(make([]peer.Descriptor, 0, len(cand)+1), cand...), jdesc)
+	for _, d := range cand {
+		ms, _ := c.slotOf(d.Addr)
+		m := c.nodes[ms]
+		m.router.Adopt(withJoiner)
+		m.snap.Store(m.router.Snapshot())
+	}
+	// Refresh the joiner against the neighbourhood as it is now and
+	// republish, so ops routing through it see live peers again.
+	joiner.router.Adopt(cand)
+	joiner.snap.Store(joiner.router.Snapshot())
+
+	c.migrate(withJoiner)
+}
+
 // migrate re-replicates every key held in the given neighbourhood: each
 // key is re-routed to its current root and re-stored across the current
 // replica set. Work is proportional to the keys the departed node's

@@ -1,0 +1,110 @@
+package dht
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/id"
+	"repro/internal/peer"
+)
+
+// TestJoinRevivesNode: Join is the inverse of Remove — the rejoined node
+// counts live again, its neighbourhood re-adopts it, and keys rooted in
+// its range land on it once more.
+func TestJoinRevivesNode(t *testing.T) {
+	const n = 128
+	c, descs := perfectCluster(t, n, 3, 71)
+	rng := rand.New(rand.NewSource(72))
+
+	victim := descs[rng.Intn(n)]
+	c.Remove(victim.Addr)
+	if c.Len() != n-1 {
+		t.Fatalf("live = %d after remove, want %d", c.Len(), n-1)
+	}
+	c.Join(victim.Addr)
+	if c.Len() != n {
+		t.Fatalf("live = %d after join, want %d", c.Len(), n)
+	}
+	// Idempotent on a live node.
+	c.Join(victim.Addr)
+	if c.Len() != n {
+		t.Fatalf("live = %d after double join, want %d", c.Len(), n)
+	}
+
+	// The rejoined node serves: keys written from it and keys rooted at it
+	// are readable cluster-wide.
+	for i := 0; i < 50; i++ {
+		key := id.ID(rng.Uint64())
+		if _, err := c.Put(victim.Addr, key, []byte{byte(i)}); err != nil {
+			t.Fatalf("put via rejoined node: %v", err)
+		}
+		got, err := c.Get(descs[rng.Intn(n)].Addr, key)
+		if err != nil || len(got) != 1 || got[0] != byte(i) {
+			t.Fatalf("get of key written via rejoined node: %v %v", got, err)
+		}
+	}
+}
+
+// TestJoinFlashCrowd: a quarter of the cluster sits out as standbys, keys
+// preload on the live rump, and then every standby joins at once. The
+// flash crowd must not lose readability of the preloaded keys — joins
+// shift key ownership, so migration has to chase every root change — and
+// the joiners must end up holding keys.
+func TestJoinFlashCrowd(t *testing.T) {
+	const n, standby, nkeys = 256, 64, 300
+	c, descs := perfectCluster(t, n, 3, 73)
+	rng := rand.New(rand.NewSource(74))
+	for i := n - standby; i < n; i++ {
+		c.Remove(descs[i].Addr)
+	}
+	if c.Len() != n-standby {
+		t.Fatalf("live = %d, want %d", c.Len(), n-standby)
+	}
+
+	keys := make([]id.ID, nkeys)
+	for i := range keys {
+		keys[i] = id.ID(rng.Uint64())
+		from := descs[rng.Intn(n-standby)].Addr
+		if _, err := c.Put(from, keys[i], []byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatalf("preload put %d: %v", i, err)
+		}
+	}
+
+	for i := n - standby; i < n; i++ {
+		c.Join(descs[i].Addr)
+	}
+	if c.Len() != n {
+		t.Fatalf("live = %d after flash crowd, want %d", c.Len(), n)
+	}
+
+	joined := 0
+	for i := n - standby; i < n; i++ {
+		slot, _ := c.slotOf(descs[i].Addr)
+		if c.nodes[slot].Keys() > 0 {
+			joined++
+		}
+	}
+	if joined == 0 {
+		t.Fatal("no joiner received any migrated keys")
+	}
+	for i, key := range keys {
+		from := descs[rng.Intn(n)].Addr
+		got, err := c.Get(from, key)
+		if err != nil {
+			t.Fatalf("key %d unreadable after flash crowd: %v", i, err)
+		}
+		if len(got) != 2 || got[0] != byte(i) || got[1] != byte(i>>8) {
+			t.Fatalf("key %d corrupted after flash crowd: %v", i, got)
+		}
+	}
+}
+
+// TestJoinUnknownAddr: joining an address the cluster never knew is a
+// no-op, not a panic.
+func TestJoinUnknownAddr(t *testing.T) {
+	c, _ := perfectCluster(t, 16, 3, 75)
+	c.Join(peer.Addr(9999))
+	if c.Len() != 16 {
+		t.Fatalf("live = %d, want 16", c.Len())
+	}
+}

@@ -127,11 +127,7 @@ type Generator struct {
 func New(c *dht.Cluster, cfg Config) *Generator {
 	cfg = cfg.withDefaults()
 	g := &Generator{c: c, cfg: cfg}
-	krng := rand.New(rand.NewSource(cfg.Seed))
-	g.keys = make([]id.ID, cfg.KeySpace)
-	for i := range g.keys {
-		g.keys[i] = id.ID(krng.Uint64())
-	}
+	g.keys = drawKeys(rand.New(rand.NewSource(cfg.Seed)), cfg.KeySpace)
 	g.workers = make([]*worker, cfg.Workers)
 	for i := range g.workers {
 		rng := rand.New(rand.NewSource(cfg.Seed + 7919*int64(i+1)))
@@ -151,11 +147,39 @@ func New(c *dht.Cluster, cfg Config) *Generator {
 	return g
 }
 
+// drawKeys draws n distinct key IDs from rng. A collision redraws until
+// the ID is fresh, so the emitted sequence is identical to the raw draw
+// stream whenever no collision occurs — existing seeds keep their key
+// spaces. Without the dedup, two colliding indices silently alias one DHT
+// key: the generator believes it covers n keys while storing n-1, and
+// per-key accounting (preload full-replication counts, popularity skew)
+// drifts from the configuration.
+func drawKeys(rng *rand.Rand, n int) []id.ID {
+	keys := make([]id.ID, n)
+	seen := make(map[id.ID]struct{}, n)
+	for i := range keys {
+		k := id.ID(rng.Uint64())
+		for {
+			if _, dup := seen[k]; !dup {
+				break
+			}
+			k = id.ID(rng.Uint64())
+		}
+		seen[k] = struct{}{}
+		keys[i] = k
+	}
+	return keys
+}
+
 // Preload writes every key once (single-threaded, deterministic origin
 // order) so gets have something to find, and returns the number of keys
-// stored at full replication.
+// stored at full replication. With no live membership there is nowhere to
+// store: zero keys preload.
 func (g *Generator) Preload() int {
 	g.refreshOrigins()
+	if len(g.origins) == 0 {
+		return 0
+	}
 	full := 0
 	var st dht.OpStats
 	w := g.workers[0]

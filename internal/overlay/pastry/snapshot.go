@@ -230,3 +230,11 @@ func (r *Router) Repair(departed id.ID, candidates []peer.Descriptor) {
 	r.leaf.Update(clean)
 	r.table.AddAll(clean)
 }
+
+// Adopt offers candidates to the router's structures without a departure —
+// the arrival-side counterpart of Repair, used when a peer (re)joins the
+// overlay. Callers republish a fresh Snapshot afterwards.
+func (r *Router) Adopt(candidates []peer.Descriptor) {
+	r.leaf.Update(candidates)
+	r.table.AddAll(candidates)
+}

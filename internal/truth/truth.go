@@ -554,6 +554,22 @@ type Aggregate struct {
 	LeafDead, PrefixDead int
 }
 
+// Add accumulates another aggregate's integer sums. Because an Aggregate
+// is nothing but raw counts, adding per-shard partials — whether the
+// shards are worker goroutines or whole OS processes measuring disjoint
+// member subsets against the same truth — reproduces the whole-network
+// measurement exactly.
+func (a *Aggregate) Add(o Aggregate) {
+	a.LeafMissing += o.LeafMissing
+	a.LeafTotal += o.LeafTotal
+	a.PrefixMissing += o.PrefixMissing
+	a.PrefixTotal += o.PrefixTotal
+	a.LeafPerfect += o.LeafPerfect
+	a.PrefixPerfect += o.PrefixPerfect
+	a.LeafDead += o.LeafDead
+	a.PrefixDead += o.PrefixDead
+}
+
 // measureScratch is the per-shard working memory of MeasureAll: candidate
 // and result buffers for perfect leaf sets, and two rows×cols tables for
 // expected and observed slot occupancy. One scratch per worker keeps the
